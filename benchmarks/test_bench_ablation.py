@@ -1,0 +1,180 @@
+"""Ablation benchmarks for the methodology's design choices (DESIGN.md §5).
+
+Each ablation disables one noise defense and quantifies the damage:
+
+* **Currency guard** -- naive flagging (any USD ratio > 1) brands nearly
+  every localized-but-honest shop a discriminator; the guard removes the
+  false positives without losing true ones.
+* **Anchor robustness** -- structural node paths break when promo banners
+  shift page structure; selector anchors survive.
+* **Synchronization** -- comparing prices fetched on different days
+  conflates temporal repricing with geographic discrimination; the
+  synchronized per-round ratio does not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cleaning import clean_reports
+from repro.analysis.personal import derive_anchor_for_domain
+from repro.core.backend import CheckRequest, SheriffBackend
+from repro.core.extraction import extract_price
+from repro.core.highlight import PriceAnchor
+from repro.ecommerce.world import WorldConfig, build_world
+from repro.net.clock import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def guard_world():
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=25))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    return world, backend
+
+
+def test_bench_ablation_currency_guard(benchmark, guard_world):
+    """False-positive rate on honest shops: naive vs guarded detection."""
+    world, backend = guard_world
+    reports = []
+    for domain in world.long_tail:
+        anchor = derive_anchor_for_domain(world, domain)
+        for product in world.retailer(domain).catalog.products[:2]:
+            reports.append(backend.check(
+                CheckRequest(url=f"http://{domain}{product.path}", anchor=anchor)
+            ))
+
+    def analyze():
+        clean = clean_reports(reports, world.rates)
+        guarded = sum(1 for r in clean.kept if r.has_variation)
+        naive = sum(
+            1 for r in clean.kept
+            if r.ratio is not None and r.ratio > 1.0 + 1e-9
+        )
+        return guarded, naive
+
+    guarded, naive = benchmark(analyze)
+    benchmark.extra_info["false_positives_guarded"] = guarded
+    benchmark.extra_info["false_positives_naive"] = naive
+    # The ablation's point: naive conversion sees phantom variation on
+    # most localized honest shops; the guard sees none.
+    assert guarded == 0
+    assert naive > 0
+
+
+def test_bench_ablation_anchor_robustness(benchmark, guard_world):
+    """Selector anchors vs raw node paths across structural re-renders."""
+    world, _ = guard_world
+    domain = "www.amazon.com"
+    retailer = world.retailer(domain)
+    full_anchor = derive_anchor_for_domain(world, domain)
+    path_only = PriceAnchor(
+        selector=None, node_path=full_anchor.node_path,
+        sample_text=full_anchor.sample_text,
+    )
+    vantage = world.vantage_points[0]
+    # Different days -> different promo-banner structure per render.
+    pages = []
+    for product in retailer.catalog.products[:10]:
+        response = vantage.fetch(world.network, f"http://{domain}{product.path}")
+        pages.append(response.body)
+        world.clock.advance(SECONDS_PER_DAY / 4)
+
+    def extract_both():
+        with_selector = sum(
+            1 for page in pages if extract_price(page, full_anchor).ok
+        )
+        with_path = sum(
+            1 for page in pages if extract_price(page, path_only).ok
+            and extract_price(page, path_only).amount is not None
+        )
+        return with_selector, with_path
+
+    with_selector, with_path = benchmark(extract_both)
+    benchmark.extra_info["selector_hits"] = with_selector
+    benchmark.extra_info["node_path_hits"] = with_path
+    assert with_selector == len(pages)
+
+
+def test_bench_ablation_repeated_measurement(benchmark):
+    """Single-shot vs repeated checks under per-request A/B noise.
+
+    hotels.com randomizes ~12% of requests +5%.  A single synchronized
+    check occasionally catches different buckets at different vantage
+    points and inflates the ratio; requiring the variation to repeat
+    across rounds (the paper's defense) suppresses those flukes on
+    *uncovered* products while keeping real geo variation intact.
+    """
+    from repro.analysis.cleaning import repeatable_products
+    from repro.ecommerce.pricing import coverage_includes
+
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    domain = "www.hotels.com"
+    anchor = derive_anchor_for_domain(world, domain)
+    uncovered = [
+        p for p in world.retailer(domain).catalog.products
+        if not coverage_includes(p, 0.75, world.config.seed)
+    ][:8]
+    reports = []
+    for round_index in range(4):
+        world.clock.advance_to(
+            max(world.clock.now, (500 + round_index) * SECONDS_PER_DAY)
+        )
+        for product in uncovered:
+            reports.append(backend.check(CheckRequest(
+                url=f"http://{domain}{product.path}", anchor=anchor,
+            )))
+
+    guard = 1.02
+
+    def analyze():
+        single_shot = {
+            r.url for r in reports[: len(uncovered)]
+            if r.ratio is not None and r.ratio > guard
+        }
+        repeated = repeatable_products(reports, guard=guard)
+        surviving = single_shot & repeated
+        return len(single_shot), len(surviving)
+
+    flagged_once, surviving = benchmark(analyze)
+    benchmark.extra_info["single_shot_flags"] = flagged_once
+    benchmark.extra_info["surviving_repetition"] = surviving
+    # Repetition must not add flags; typically it removes the flukes.
+    assert surviving <= flagged_once
+
+
+def test_bench_ablation_synchronization(benchmark):
+    """Per-round (synchronized) vs cross-day (unsynchronized) ratios under
+    temporal repricing (hotels.com drifts +/-8% per day)."""
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    domain = "www.hotels.com"
+    anchor = derive_anchor_for_domain(world, domain)
+    # Pick an uncovered product (no geo pricing): true sync ratio ~1.0.
+    from repro.ecommerce.pricing import coverage_includes
+
+    uncovered = next(
+        p for p in world.retailer(domain).catalog.products
+        if not coverage_includes(p, 0.75, world.config.seed)
+    )
+    url = f"http://{domain}{uncovered.path}"
+    daily_reports = []
+    for day in range(5):
+        world.clock.advance_to(max(world.clock.now, (400 + day) * SECONDS_PER_DAY))
+        daily_reports.append(backend.check(CheckRequest(url=url, anchor=anchor)))
+
+    def compare():
+        sync_ratios = [r.ratio for r in daily_reports if r.ratio]
+        pooled = [
+            obs.usd for r in daily_reports for obs in r.valid_observations()
+        ]
+        unsync_ratio = max(pooled) / min(pooled)
+        return max(sync_ratios), unsync_ratio
+
+    sync_max, unsync = benchmark(compare)
+    benchmark.extra_info["synchronized_max_ratio"] = round(sync_max, 4)
+    benchmark.extra_info["unsynchronized_ratio"] = round(unsync, 4)
+    # Cross-day pooling manufactures variation the synchronized
+    # methodology correctly avoids.
+    assert unsync > sync_max
+    assert unsync > 1.05

@@ -1,0 +1,88 @@
+"""One benchmark per paper figure: regenerate the figure from the shared
+datasets and record its headline numbers as benchmark extra-info.
+
+Each benchmark's asserted ``FigureResult`` is the same object the
+experiment runner prints; the bench target therefore both times the
+analysis and regenerates the paper artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig01_crowd_domains,
+    fig02_crowd_magnitude,
+    fig03_crawl_extent,
+    fig04_crawl_magnitude,
+    fig05_ratio_vs_price,
+    fig06_pricing_structure,
+    fig07_locations,
+    fig08_pairwise_grids,
+    fig09_finland,
+    fig10_login,
+)
+
+
+def _run_figure(benchmark, ctx, module, *, rounds: int = 3):
+    result = benchmark.pedantic(
+        module.run, args=(ctx,), rounds=rounds, iterations=1
+    )
+    benchmark.extra_info["figure"] = result.figure_id
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["checks_passed"] = sum(result.checks.values())
+    benchmark.extra_info["checks_total"] = len(result.checks)
+    assert result.rows
+    return result
+
+
+def test_bench_fig1_crowd_domains(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig01_crowd_domains)
+    assert result.checks["amazon/hotels/steam occupy the head"]
+
+
+def test_bench_fig2_crowd_magnitude(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig02_crowd_magnitude)
+    assert result.checks["typical magnitude in the 10%-45% band"]
+
+
+def test_bench_fig3_crawl_extent(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig03_crawl_extent)
+    assert result.checks["the paper's 100%-extent retailers measure >= 90%"]
+
+
+def test_bench_fig4_crawl_magnitude(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig04_crawl_magnitude)
+    assert result.checks["rank correlation with paper ordering > 0.8"]
+
+
+def test_bench_fig5_ratio_vs_price(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig05_ratio_vs_price)
+    assert result.checks["multi-$K products stay below x1.5"]
+
+
+def test_bench_fig6_pricing_structure(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig06_pricing_structure)
+    assert result.checks["digitalrev lines are flat (|slope| < 0.02 per decade)"]
+    assert result.checks["energie US line decays with price (slope < -0.03 per decade)"]
+
+
+def test_bench_fig7_locations(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig07_locations)
+    assert result.checks["Finland is the most expensive location"]
+
+
+def test_bench_fig8_pairwise_grids(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig08_pairwise_grids)
+    assert result.checks["homedepot: New York consistently dearer than Chicago"]
+
+
+def test_bench_fig9_finland(benchmark, ctx):
+    result = _run_figure(benchmark, ctx, fig09_finland)
+    assert result.checks["exactly the paper's exceptions are Finland-cheap"]
+
+
+def test_bench_fig10_login(benchmark, ctx):
+    # Fig. 10 re-measures (login sessions), so it is heavier: 1 round.
+    result = _run_figure(benchmark, ctx, fig10_login, rounds=1)
+    assert result.checks["personas (affluent vs budget) show zero price differences"]

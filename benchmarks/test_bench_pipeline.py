@@ -1,0 +1,73 @@
+"""Pipeline-stage benchmarks: world build, $heriff checks, crawl
+throughput, campaign throughput.
+
+These quantify the cost of the *measurement* machinery (as opposed to the
+analysis, covered by the figure benches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.personal import derive_anchor_for_domain
+from repro.core.backend import CheckRequest, SheriffBackend
+from repro.crawler import CrawlConfig, build_plan, run_crawl
+from repro.crowd import CampaignConfig, run_campaign
+from repro.ecommerce.world import WorldConfig, build_world
+
+
+def test_bench_world_build(benchmark):
+    """Construct the full named-retailer world plus a 60-shop long tail."""
+    world = benchmark.pedantic(
+        lambda: build_world(WorldConfig(catalog_scale=0.25, long_tail_domains=60)),
+        rounds=3, iterations=1,
+    )
+    assert len(world.retailers) >= 60
+
+
+@pytest.fixture(scope="module")
+def check_setup():
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    domain = "www.digitalrev.com"
+    anchor = derive_anchor_for_domain(world, domain)
+    product = world.retailer(domain).catalog.products[0]
+    url = f"http://{domain}{product.path}"
+    return backend, CheckRequest(url=url, anchor=anchor)
+
+
+def test_bench_sheriff_check(benchmark, check_setup):
+    """One synchronized 14-vantage-point price check, end to end."""
+    backend, request = check_setup
+    report = benchmark(backend.check, request)
+    assert len(report.valid_observations()) == 14
+
+
+def test_bench_crawl_product_day(benchmark):
+    """A one-day crawl slice: 3 retailers x 5 products x 14 points."""
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    plan = build_plan(world, domains=world.crawled_domains[:3],
+                      products_per_retailer=5)
+    day = iter(range(300, 10_000))
+
+    def crawl_once():
+        return run_crawl(world, backend, plan,
+                         CrawlConfig(days=1, start_day=next(day)))
+
+    dataset = benchmark.pedantic(crawl_once, rounds=3, iterations=1)
+    assert dataset.n_extracted_prices == 3 * 5 * 14
+
+
+def test_bench_crowd_checks(benchmark):
+    """25 crowd-triggered checks through the extension + backend."""
+    def run_once():
+        world = build_world(WorldConfig(catalog_scale=0.15, long_tail_domains=10))
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        return run_campaign(
+            world, backend,
+            CampaignConfig(n_checks=25, population_size=20, seed=11),
+        )
+
+    dataset = benchmark.pedantic(run_once, rounds=2, iterations=1)
+    assert dataset.n_requests == 25

@@ -1,0 +1,83 @@
+"""Substrate micro-benchmarks: HTML parsing, selectors, extraction, FX."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extraction import extract_price
+from repro.core.highlight import derive_anchor
+from repro.ecommerce.world import WorldConfig, build_world
+from repro.fx.convert import Converter, max_gap_ratio
+from repro.fx.rates import RateService
+from repro.htmlmodel.parser import parse_html
+from repro.htmlmodel.selectors import Selector
+from repro.htmlmodel.serialize import to_html
+
+
+@pytest.fixture(scope="module")
+def product_page() -> str:
+    """A real rendered retailer page (the parser's actual workload)."""
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    retailer = world.retailer("www.amazon.com")
+    product = retailer.catalog.products[0]
+    response = world.vantage_points[0].fetch(
+        world.network, f"http://{retailer.domain}{product.path}"
+    )
+    assert response.ok
+    return response.body
+
+
+def test_bench_parse_html(benchmark, product_page):
+    doc = benchmark(parse_html, product_page)
+    assert doc.children
+
+
+def test_bench_serialize(benchmark, product_page):
+    doc = parse_html(product_page)
+    html = benchmark(to_html, doc)
+    assert html
+
+
+def test_bench_selector_query(benchmark, product_page):
+    doc = parse_html(product_page)
+    selector = Selector.parse("div.price-box span.price, #product-price")
+    element = benchmark(selector.select_one, doc)
+    assert element is not None
+
+
+def test_bench_anchor_derivation(benchmark, product_page):
+    doc = parse_html(product_page)
+    selector = Selector.parse("#product-price, div.price-box span.value, "
+                              "td.prc, p.item-price")
+    element = selector.select_one(doc)
+    anchor = benchmark(derive_anchor, doc, element)
+    assert anchor.selector or anchor.node_path
+
+
+def test_bench_extraction_end_to_end(benchmark, product_page):
+    doc = parse_html(product_page)
+    selector = Selector.parse("#product-price, div.price-box span.value, "
+                              "td.prc, p.item-price")
+    anchor = derive_anchor(doc, selector.select_one(doc))
+    extracted = benchmark(extract_price, product_page, anchor)
+    assert extracted.ok
+
+
+def test_bench_fx_rate_series(benchmark):
+    def one_year():
+        service = RateService(seed=99)
+        return [service.rate("EUR", day) for day in range(365)]
+
+    rates = benchmark(one_year)
+    assert len(rates) == 365
+
+
+def test_bench_currency_guard(benchmark):
+    service = RateService(seed=5)
+    # Warm the cache so the bench measures the guard computation.
+    for code in ("EUR", "GBP", "BRL"):
+        service.rate(code, 160)
+    guard = benchmark(
+        max_gap_ratio, service, ["EUR", "GBP", "BRL"], range(150, 160)
+    )
+    assert guard > 1.0

@@ -1,0 +1,22 @@
+"""Benchmarks for the §3.2 dataset-summary table and the §4.4 tracker
+census."""
+
+from __future__ import annotations
+
+from repro.experiments import tab_datasets, tab_thirdparty
+
+
+def test_bench_dataset_summary(benchmark, ctx):
+    result = benchmark.pedantic(tab_datasets.run, args=(ctx,), rounds=3, iterations=1)
+    benchmark.extra_info["measured"] = {
+        metric: measured for metric, _, measured in result.rows
+    }
+    assert result.checks["21 crawled retailers"]
+
+
+def test_bench_thirdparty_census(benchmark, ctx):
+    result = benchmark.pedantic(tab_thirdparty.run, args=(ctx,), rounds=3, iterations=1)
+    benchmark.extra_info["presence"] = {
+        name: measured for name, _, measured in result.rows
+    }
+    assert result.checks["presence ordering: GA heaviest, Twitter lightest"]

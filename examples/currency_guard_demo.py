@@ -1,0 +1,77 @@
+"""Why the conservative currency guard matters (paper §2.2).
+
+An honest shop that merely *localizes* currency looks like a price
+discriminator to a naive analysis: each vantage point sees a different
+currency, conversion back to USD wobbles with the daily rate spread, and
+phantom "variation" appears.  The paper's guard keeps only variation that
+strictly exceeds the largest gap pure currency translation could produce.
+
+This demo measures one honest long-tail shop and one real discriminator,
+and shows the naive verdicts vs the guarded verdicts.
+
+Run:  python examples/currency_guard_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import clean_reports
+from repro.analysis.personal import derive_anchor_for_domain
+from repro.core import SheriffBackend
+from repro.core.backend import CheckRequest
+from repro.ecommerce import WorldConfig, build_world
+
+
+def check_shop(world, backend, domain: str, n_products: int = 6):
+    anchor = derive_anchor_for_domain(world, domain)
+    reports = []
+    for product in world.retailer(domain).catalog.products[:n_products]:
+        reports.append(backend.check(
+            CheckRequest(url=f"http://{domain}{product.path}", anchor=anchor)
+        ))
+    return reports
+
+
+def main() -> None:
+    world = build_world(WorldConfig(catalog_scale=0.25, long_tail_domains=10))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+
+    # Pick an honest shop that localizes display currency -- the ones that
+    # price in plain USD everywhere cannot confuse anyone.
+    honest = next(
+        domain for domain in world.long_tail
+        if world.retailer(domain).localizes_currency
+    )
+    discriminator = "www.digitalrev.com"
+    print(f"honest shop        : {honest} (uniform USD pricing, localized display)")
+    print(f"discriminating shop: {discriminator} (multiplicative geo pricing)\n")
+
+    reports = check_shop(world, backend, honest) + check_shop(
+        world, backend, discriminator
+    )
+    clean = clean_reports(reports, world.rates)
+    print(f"dataset-wide currency guard: x{clean.guard:.4f}\n")
+
+    print(f"{'url':55s} {'ratio':>8s} {'naive':>8s} {'guarded':>8s}")
+    naive_fp = guarded_fp = 0
+    for report in clean.kept:
+        ratio = report.ratio or 1.0
+        naive = ratio > 1.0 + 1e-9
+        guarded = report.has_variation
+        if report.domain == honest:
+            naive_fp += naive
+            guarded_fp += guarded
+        print(
+            f"{report.url:55s} x{ratio:7.4f} "
+            f"{'FLAG' if naive else '-':>8s} {'FLAG' if guarded else '-':>8s}"
+        )
+
+    print(
+        f"\nfalse positives on the honest shop: naive={naive_fp}, "
+        f"guarded={guarded_fp}"
+    )
+    print("the guard absorbs conversion wobble while the real discriminator's "
+          "10-30% gaps sail past it.")
+
+
+if __name__ == "__main__":
+    main()

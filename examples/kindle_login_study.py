@@ -1,0 +1,63 @@
+"""Personal information and prices (paper §4.4, Fig. 10).
+
+Two controlled studies at a fixed location and time:
+
+1. Kindle ebook prices on amazon.com for three logged-in accounts vs the
+   logged-out state -- prices differ per product with no systematic
+   logged-in premium, reproducing Fig. 10.
+2. Affluent vs budget-conscious personas (trained browsing histories) --
+   no price differences at all, reproducing the paper's null result.
+
+Run:  python examples/kindle_login_study.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.personal import login_experiment, persona_experiment
+from repro.ecommerce import WorldConfig, build_world
+
+
+def main() -> None:
+    world = build_world(WorldConfig(catalog_scale=0.5, long_tail_domains=0))
+
+    print("Fig. 10 -- Kindle ebook prices by login identity\n")
+    study = login_experiment(world, n_products=20)
+    identities = list(study.series)
+    header = "product".ljust(10) + "".join(i.rjust(12) for i in identities)
+    print(header)
+    print("-" * len(header))
+    for index, url in enumerate(study.product_urls):
+        sku = url.rsplit("/", 1)[-1].replace(".html", "")
+        row = sku[-8:].ljust(10)
+        for identity in identities:
+            value = study.series[identity][index]
+            row += (f"${value:.2f}" if value is not None else "n/a").rjust(12)
+        print(row)
+
+    print()
+    for identity in identities:
+        values = [v for v in study.series[identity] if v is not None]
+        print(f"mean price for {identity:10s}: ${statistics.fmean(values):.2f}")
+    differing = study.products_with_identity_differences()
+    print(
+        f"\n{differing}/{len(study.product_urls)} ebooks priced differently "
+        f"across identities; no identity is consistently cheapest -- matching "
+        f"the paper's 'little correlation to being logged in or not'."
+    )
+
+    print("\nPersona study -- affluent vs budget-conscious (same location/time)\n")
+    comparisons = persona_experiment(
+        world, domains=world.crawled_domains[:8], products_per_domain=3
+    )
+    differences = [c for c in comparisons if c.differs]
+    print(f"checked {len(comparisons)} products on 8 retailers")
+    print(f"price differences attributable to the persona: {len(differences)}")
+    if not differences:
+        print("-> the paper's §4.4 null result reproduces: browsing-history "
+              "personas do not move prices on these retailers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: one crowd-style $heriff price check, end to end.
+
+Builds a small simulated web, takes the role of a user in Germany browsing
+a photography shop, highlights the price, and fans the check out to the 14
+measurement vantage points -- then prints what each location saw.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SheriffBackend, SheriffExtension, UserClient
+from repro.ecommerce import WorldConfig, build_world
+from repro.htmlmodel.selectors import Selector
+from repro.net.geoip import GeoLocation
+from repro.net.useragent import profile_for
+
+
+def main() -> None:
+    # A small world: all 30 named retailers with short catalogs.
+    world = build_world(WorldConfig(catalog_scale=0.25, long_tail_domains=20))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    extension = SheriffExtension(backend, world.network)
+
+    # The user: Berlin, Firefox on Linux.
+    user = UserClient(
+        name="demo-user",
+        location=GeoLocation("DE", "Germany", "Berlin"),
+        ip=world.plan.allocate("DE", "Berlin"),
+        profile=profile_for("firefox", "linux"),
+    )
+
+    # The product page the user is looking at.
+    retailer = world.retailer("www.digitalrev.com")
+    product = retailer.catalog.products[2]
+    url = f"http://{retailer.domain}{product.path}"
+    print(f"user opens   {url}")
+    print(f"product      {product.name} (base ${product.base_price_usd:.2f})")
+
+    # The user's eyes: in the simulation, the template's ground-truth price
+    # location stands in for the visual highlight.
+    find_price = Selector.parse(retailer.template.price_selector).select_one
+
+    outcome = extension.check_product(user, url, find_price)
+    if not outcome.ok:
+        raise SystemExit(f"check failed: {outcome.failure}")
+
+    print(f"user sees    {outcome.user_amount:.2f} {outcome.user_currency}")
+    print()
+    report = outcome.report
+    print(f"$heriff fan-out ({len(report.observations)} vantage points):")
+    for obs in report.observations:
+        if obs.ok:
+            print(f"  {obs.vantage:22s} {obs.raw_text:>14s}  -> ${obs.usd:8.2f}")
+        else:
+            print(f"  {obs.vantage:22s} FAILED: {obs.error}")
+    print()
+    print(report.summary_line())
+    if report.has_variation:
+        ratios = report.ratios_by_vantage()
+        dearest = max(ratios, key=ratios.get)
+        print(
+            f"price discrimination suspected: {dearest} pays "
+            f"x{ratios[dearest]:.3f} the cheapest location's price "
+            f"(currency guard x{report.guard_threshold:.3f} excluded FX noise)"
+        )
+
+
+if __name__ == "__main__":
+    main()

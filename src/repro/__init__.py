@@ -1,0 +1,27 @@
+"""repro: a reproduction of Mikians et al., "Crowd-assisted Search for
+Price Discrimination in E-Commerce: First results" (CoNEXT 2013).
+
+The package implements the paper's full measurement system -- the $heriff
+browser extension + backend (:mod:`repro.core`), the crowdsourcing campaign
+(:mod:`repro.crowd`), the systematic crawler (:mod:`repro.crawler`) and the
+analysis pipeline (:mod:`repro.analysis`) -- plus every substrate it needs,
+built from scratch: an HTML document model (:mod:`repro.htmlmodel`), a
+simulated network with geo-IP and vantage points (:mod:`repro.net`), an FX
+rate service (:mod:`repro.fx`) and a calibrated population of e-commerce
+sites (:mod:`repro.ecommerce`).
+
+Quickstart::
+
+    from repro.ecommerce import build_world, WorldConfig
+    from repro.core import SheriffBackend, SheriffExtension
+
+    world = build_world(WorldConfig(catalog_scale=0.25, long_tail_domains=40))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+
+See ``examples/quickstart.py`` for the full user flow and
+:mod:`repro.experiments` for the figure reproductions.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,52 @@
+"""Analysis pipeline: from raw check reports to the paper's figures.
+
+* :mod:`repro.analysis.stats` -- percentiles and box-plot statistics,
+* :mod:`repro.analysis.cleaning` -- noise removal: the dataset-wide
+  currency guard, minimum-data filters, repeatability filters,
+* :mod:`repro.analysis.ratios` -- per-domain variation counts and
+  magnitude distributions (Figs. 1, 2, 4),
+* :mod:`repro.analysis.extent` -- fraction of requests with variation per
+  domain (Fig. 3),
+* :mod:`repro.analysis.products` -- ratio vs product price and
+  per-vantage structure (Figs. 5, 6),
+* :mod:`repro.analysis.locations` -- per-location ratios, pairwise grids,
+  the Finland profile (Figs. 7, 8, 9),
+* :mod:`repro.analysis.personal` -- persona and login experiments
+  (Fig. 10 and the §4.4 null result),
+* :mod:`repro.analysis.thirdparty` -- the §4.4 tracker census,
+* :mod:`repro.analysis.tables` -- dataset summary tables (§3.2).
+"""
+
+from repro.analysis.attribution import AttributionVerdict, CheckoutProbe
+from repro.analysis.cleaning import CleanResult, clean_reports, dataset_guard
+from repro.analysis.extent import variation_extent
+from repro.analysis.locations import (
+    finland_profile,
+    location_ratio_stats,
+    pairwise_grid,
+)
+from repro.analysis.products import per_vantage_structure, ratio_vs_min_price
+from repro.analysis.ratios import domain_ratio_stats, domain_variation_counts
+from repro.analysis.stats import BoxStats, percentile
+from repro.analysis.tables import dataset_summary
+from repro.analysis.thirdparty import tracker_presence
+
+__all__ = [
+    "AttributionVerdict",
+    "BoxStats",
+    "CheckoutProbe",
+    "CleanResult",
+    "clean_reports",
+    "dataset_guard",
+    "dataset_summary",
+    "domain_ratio_stats",
+    "domain_variation_counts",
+    "finland_profile",
+    "location_ratio_stats",
+    "pairwise_grid",
+    "per_vantage_structure",
+    "percentile",
+    "ratio_vs_min_price",
+    "tracker_presence",
+    "variation_extent",
+]

@@ -1,0 +1,173 @@
+"""Noise removal, per §2.2 and §3.2.
+
+The key defense is the paper's conservative currency guard: a variation
+only counts when it *strictly exceeds* the largest ratio that currency
+translation alone could produce, computed over the **whole dataset's**
+extreme exchange rates (not just the check's day -- a product seen on
+Monday and re-seen on Friday spans both days' rates).
+
+:func:`clean_reports` recomputes each report's guard against the dataset-
+wide extremes, drops degenerate reports, and optionally enforces
+*repeatability*: a (product, pair-of-locations) relationship must point the
+same way on a majority of days, which suppresses A/B-test flukes (§2.2's
+"we repeated the same set of measurements multiple times").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.reports import PriceCheckReport
+from repro.fx.convert import Converter, max_gap_ratio
+from repro.fx.rates import RateService
+
+__all__ = [
+    "CleanResult",
+    "clean_reports",
+    "dataset_guard",
+    "repeatable_products",
+    "split_by_user_agreement",
+]
+
+
+def dataset_guard(
+    rates: RateService, reports: Sequence[PriceCheckReport], *, margin: float = 0.0
+) -> float:
+    """The dataset-wide currency-translation guard threshold."""
+    if not reports:
+        raise ValueError("no reports")
+    currencies: set[str] = set()
+    days: set[int] = set()
+    for report in reports:
+        days.add(report.day_index)
+        for obs in report.valid_observations():
+            if obs.currency:
+                currencies.add(obs.currency)
+    if not currencies:
+        currencies = {"USD"}
+    return max_gap_ratio(rates, currencies, days, margin=margin)
+
+
+@dataclass
+class CleanResult:
+    """Cleaning outcome: surviving reports plus an accounting of drops."""
+
+    kept: list[PriceCheckReport] = field(default_factory=list)
+    dropped: Counter = field(default_factory=Counter)
+    guard: float = 1.0
+
+    @property
+    def n_kept(self) -> int:
+        return len(self.kept)
+
+    @property
+    def n_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+
+def clean_reports(
+    reports: Sequence[PriceCheckReport],
+    rates: RateService,
+    *,
+    min_points: int = 2,
+    guard_margin: float = 0.0,
+    require_repeatable: bool = False,
+) -> CleanResult:
+    """Apply the paper's cleaning rules.
+
+    Every surviving report has its ``guard_threshold`` replaced by the
+    dataset-wide guard, so downstream ``has_variation`` answers are
+    consistent across the dataset.  ``require_repeatable`` additionally
+    restricts *variation* verdicts to products whose variation recurs
+    across measurement rounds (no-ops on single-day datasets).
+    """
+    result = CleanResult()
+    if not reports:
+        return result
+    result.guard = dataset_guard(rates, reports, margin=guard_margin)
+    repeatable: Optional[set[str]] = None
+    if require_repeatable:
+        repeatable = repeatable_products(reports, guard=result.guard)
+    for report in reports:
+        valid = report.valid_observations()
+        if len(valid) < min_points:
+            result.dropped["too-few-observations"] += 1
+            continue
+        if any(obs.amount is not None and obs.amount <= 0 for obs in valid):
+            result.dropped["non-positive-price"] += 1
+            continue
+        report.guard_threshold = result.guard
+        if repeatable is not None and report.has_variation and report.url not in repeatable:
+            result.dropped["not-repeatable"] += 1
+            continue
+        result.kept.append(report)
+    return result
+
+
+def split_by_user_agreement(
+    records,  # Sequence[repro.crowd.dataset.CheckRecord]
+    rates: RateService,
+    *,
+    tolerance: float = 0.03,
+):
+    """Split crowd records into (agreeing, disagreeing) with the fleet.
+
+    A crowd user's own observed price should match *some* vantage point's
+    (typically the one sharing their country) once converted to USD.  When
+    it matches none, the user saw something the fan-out cannot reproduce:
+    a session-specific variant, or a Referer-earned discount -- §3.2's
+    "product customization not encoded on the URI" class of noise.  Such
+    records are excluded from price-variation statistics (while remaining
+    interesting evidence of *personalized* pricing).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    converter = Converter(rates)
+    agreeing = []
+    disagreeing = []
+    for record in records:
+        report = record.report
+        outcome = record.outcome
+        if report is None or outcome.user_amount is None:
+            agreeing.append(record)  # nothing to disagree with
+            continue
+        currency = outcome.user_currency or "USD"
+        user_usd = converter.to_usd(outcome.user_amount, currency, record.day_index)
+        fleet = [obs.usd for obs in report.valid_observations() if obs.usd]
+        if not fleet:
+            agreeing.append(record)
+            continue
+        closest = min(abs(value - user_usd) / user_usd for value in fleet)
+        if closest <= tolerance:
+            agreeing.append(record)
+        else:
+            disagreeing.append(record)
+    return agreeing, disagreeing
+
+
+def repeatable_products(
+    reports: Sequence[PriceCheckReport], *, guard: float, min_fraction: float = 0.5
+) -> set[str]:
+    """Product URLs whose variation recurs across measurement rounds.
+
+    A product measured on ``k`` distinct occasions counts as repeatable
+    when more than ``min_fraction`` of those occasions show guarded
+    variation.  Products measured once pass trivially (no repetition
+    available to demand).
+    """
+    rounds: dict[str, list[bool]] = {}
+    for report in reports:
+        if len(report.valid_observations()) < 2:
+            continue
+        ratio = report.ratio
+        varied = ratio is not None and ratio > guard
+        rounds.setdefault(report.url, []).append(varied)
+    out: set[str] = set()
+    for url, outcomes in rounds.items():
+        if len(outcomes) == 1:
+            out.add(url)
+        elif sum(outcomes) / len(outcomes) > min_fraction:
+            out.add(url)
+    return out

@@ -1,0 +1,35 @@
+"""Extent of price variation per domain (Fig. 3).
+
+"Fig. 3 shows the fraction of requests we sent out to each retailer that
+had price variation.  In some cases, we see a 100% coverage, pointing to
+the fact that price variations are a persistent and repeatable phenomenon."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.reports import PriceCheckReport
+
+__all__ = ["variation_extent"]
+
+
+def variation_extent(
+    reports: Sequence[PriceCheckReport], *, min_reports: int = 1
+) -> dict[str, float]:
+    """domain -> fraction of its checks that showed guarded variation."""
+    if min_reports < 1:
+        raise ValueError("min_reports must be >= 1")
+    totals: dict[str, int] = {}
+    varied: dict[str, int] = {}
+    for report in reports:
+        if report.ratio is None:
+            continue
+        totals[report.domain] = totals.get(report.domain, 0) + 1
+        if report.has_variation:
+            varied[report.domain] = varied.get(report.domain, 0) + 1
+    return {
+        domain: varied.get(domain, 0) / total
+        for domain, total in totals.items()
+        if total >= min_reports
+    }

@@ -1,0 +1,104 @@
+"""Longitudinal analysis: is the variation persistent and repeatable?
+
+§4.1: "In some cases, we see a 100% coverage, pointing to the fact that
+price variations are a persistent and repeatable phenomenon."  §6: "The
+results however are repeatable."
+
+The crawl measures every product on several days; these functions quantify
+stability across those rounds:
+
+* :func:`daily_extent` -- per-domain extent computed separately per day,
+* :func:`extent_stability` -- how much a domain's extent moves day to day,
+* :func:`product_persistence` -- per domain, the fraction of its varying
+  products that vary on *every* day they were measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.reports import PriceCheckReport
+
+__all__ = ["daily_extent", "extent_stability", "product_persistence", "StabilityRow"]
+
+
+def daily_extent(
+    reports: Sequence[PriceCheckReport],
+) -> dict[str, dict[int, float]]:
+    """domain -> day_index -> fraction of that day's checks with variation."""
+    totals: dict[tuple[str, int], int] = {}
+    varied: dict[tuple[str, int], int] = {}
+    for report in reports:
+        if report.ratio is None:
+            continue
+        key = (report.domain, report.day_index)
+        totals[key] = totals.get(key, 0) + 1
+        if report.has_variation:
+            varied[key] = varied.get(key, 0) + 1
+    out: dict[str, dict[int, float]] = {}
+    for (domain, day), total in totals.items():
+        out.setdefault(domain, {})[day] = varied.get((domain, day), 0) / total
+    return out
+
+
+@dataclass(frozen=True)
+class StabilityRow:
+    """Per-domain extent stability across measurement days."""
+
+    domain: str
+    days: int
+    mean_extent: float
+    max_daily_delta: float  # largest |extent(day) - extent(next day)|
+
+    @property
+    def is_stable(self) -> bool:
+        """Stable = day-to-day extent moves by less than 15 points."""
+        return self.max_daily_delta <= 0.15
+
+
+def extent_stability(reports: Sequence[PriceCheckReport]) -> dict[str, StabilityRow]:
+    """domain -> :class:`StabilityRow` over the crawl days."""
+    per_day = daily_extent(reports)
+    out: dict[str, StabilityRow] = {}
+    for domain, by_day in per_day.items():
+        days = sorted(by_day)
+        extents = [by_day[d] for d in days]
+        deltas = [abs(a - b) for a, b in zip(extents, extents[1:])] or [0.0]
+        out[domain] = StabilityRow(
+            domain=domain,
+            days=len(days),
+            mean_extent=sum(extents) / len(extents),
+            max_daily_delta=max(deltas),
+        )
+    return out
+
+
+def product_persistence(
+    reports: Sequence[PriceCheckReport], *, min_days: int = 2
+) -> dict[str, float]:
+    """domain -> fraction of ever-varying products that vary on every day.
+
+    Only products measured on at least ``min_days`` distinct days
+    contribute -- persistence of a single observation is vacuous.
+    """
+    if min_days < 2:
+        raise ValueError("min_days must be >= 2 to speak of persistence")
+    rounds: dict[str, dict[str, list[bool]]] = {}
+    for report in reports:
+        if report.ratio is None:
+            continue
+        rounds.setdefault(report.domain, {}).setdefault(report.url, []).append(
+            report.has_variation
+        )
+    out: dict[str, float] = {}
+    for domain, products in rounds.items():
+        eligible = {
+            url: flags for url, flags in products.items()
+            if len(flags) >= min_days and any(flags)
+        }
+        if not eligible:
+            continue
+        persistent = sum(1 for flags in eligible.values() if all(flags))
+        out[domain] = persistent / len(eligible)
+    return out

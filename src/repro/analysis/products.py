@@ -1,0 +1,120 @@
+"""Product-axis analyses (Figs. 5 and 6).
+
+Fig. 5: for every product, the maximal per-check (synchronized) max/min
+ratio against the product's minimal observed price -- cheap products show
+the largest relative gaps (additive surcharges), the multi-$K tail stays
+under ×1.5.
+
+Fig. 6: for one retailer, each vantage point's ratio-to-minimum as a
+function of product price.  Parallel flat lines = multiplicative pricing;
+lines converging to 1 as price grows = additive pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.stats import percentile
+from repro.core.reports import PriceCheckReport
+
+__all__ = ["ProductPoint", "ratio_vs_min_price", "per_vantage_structure", "VantageSeries"]
+
+
+@dataclass(frozen=True)
+class ProductPoint:
+    """One dot of Fig. 5."""
+
+    url: str
+    domain: str
+    min_price_usd: float
+    max_ratio: float
+
+
+def ratio_vs_min_price(
+    reports: Sequence[PriceCheckReport], *, only_variation: bool = False
+) -> list[ProductPoint]:
+    """Aggregate reports per product into Fig. 5's scatter points.
+
+    The ratio is the *maximum over measurement rounds* of the per-round
+    (synchronized) max/min ratio -- cross-day price drift never pollutes a
+    ratio, matching the paper's synchronization rationale.  The price is
+    the product's minimum across everything seen.
+    """
+    per_product: dict[str, list[PriceCheckReport]] = {}
+    for report in reports:
+        if report.ratio is not None:
+            per_product.setdefault(report.url, []).append(report)
+    points: list[ProductPoint] = []
+    for url, product_reports in per_product.items():
+        ratios = [r.ratio for r in product_reports if r.ratio is not None]
+        mins = [r.min_usd for r in product_reports if r.min_usd is not None]
+        if not ratios or not mins:
+            continue
+        if only_variation and not any(r.has_variation for r in product_reports):
+            continue
+        points.append(
+            ProductPoint(
+                url=url,
+                domain=product_reports[0].domain,
+                min_price_usd=min(mins),
+                max_ratio=max(ratios),
+            )
+        )
+    points.sort(key=lambda p: p.min_price_usd)
+    return points
+
+
+@dataclass(frozen=True)
+class VantageSeries:
+    """One vantage point's line in Fig. 6: (price, ratio) pairs."""
+
+    vantage: str
+    points: tuple[tuple[float, float], ...]  # (min product price, ratio)
+
+    def median_ratio(self) -> float:
+        """The series' typical level: median ratio across its products."""
+        if not self.points:
+            raise ValueError("empty series")
+        return percentile([ratio for _, ratio in self.points], 50)
+
+
+def per_vantage_structure(
+    reports: Sequence[PriceCheckReport],
+    domain: str,
+    *,
+    vantages: Optional[Sequence[str]] = None,
+) -> list[VantageSeries]:
+    """Fig. 6's per-vantage ratio-vs-price structure for one retailer.
+
+    For each product the per-day ratios of one vantage are reduced to their
+    median (suppressing A/B flutter), yielding one (price, ratio) point per
+    (product, vantage).
+    """
+    domain_reports = [r for r in reports if r.domain == domain]
+    per_product: dict[str, list[PriceCheckReport]] = {}
+    for report in domain_reports:
+        per_product.setdefault(report.url, []).append(report)
+
+    series_points: dict[str, list[tuple[float, float]]] = {}
+    for url, product_reports in per_product.items():
+        mins = [r.min_usd for r in product_reports if r.min_usd is not None]
+        if not mins:
+            continue
+        price = min(mins)
+        per_vantage: dict[str, list[float]] = {}
+        for report in product_reports:
+            for vantage, ratio in report.ratios_by_vantage().items():
+                per_vantage.setdefault(vantage, []).append(ratio)
+        for vantage, ratios in per_vantage.items():
+            if vantages is not None and vantage not in vantages:
+                continue
+            series_points.setdefault(vantage, []).append(
+                (price, percentile(ratios, 50))
+            )
+
+    out = []
+    for vantage in sorted(series_points):
+        points = tuple(sorted(series_points[vantage]))
+        out.append(VantageSeries(vantage=vantage, points=points))
+    return out

@@ -1,0 +1,74 @@
+"""Dataset summary tables (§3.2's headline numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crawler.records import CrawlDataset
+from repro.crowd.dataset import CrowdDataset
+
+__all__ = ["DatasetSummary", "dataset_summary", "PAPER_DATASET_NUMBERS"]
+
+#: §3.2's reported numbers, for paper-vs-measured tables.
+PAPER_DATASET_NUMBERS: dict[str, int] = {
+    "crowd_requests": 1500,
+    "crowd_users": 340,
+    "crowd_countries": 18,
+    "crowd_domains": 600,
+    "crawl_retailers": 21,
+    "crawl_max_products_per_retailer": 100,
+    "crawl_days": 7,
+    "crawl_extracted_prices": 188_000,
+}
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Measured dataset statistics next to the paper's."""
+
+    measured: dict[str, int]
+    paper: dict[str, int]
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        """(metric, paper value, measured value) rows in a stable order."""
+        return [
+            (key, self.paper[key], self.measured.get(key, 0))
+            for key in self.paper
+        ]
+
+    def format_text(self) -> str:
+        """Render the paper-vs-measured table as aligned monospace text."""
+        lines = [f"{'metric':38s} {'paper':>10s} {'measured':>10s}"]
+        for key, paper, measured in self.rows():
+            lines.append(f"{key:38s} {paper:>10,} {measured:>10,}")
+        return "\n".join(lines)
+
+
+def dataset_summary(
+    crowd: Optional[CrowdDataset], crawl: Optional[CrawlDataset]
+) -> DatasetSummary:
+    """Build the §3.2 paper-vs-measured table from the two datasets."""
+    measured: dict[str, int] = {}
+    if crowd is not None:
+        measured.update(
+            crowd_requests=crowd.n_requests,
+            crowd_users=crowd.n_users,
+            crowd_countries=crowd.n_countries,
+            crowd_domains=crowd.n_domains,
+        )
+    if crawl is not None:
+        by_domain = crawl.by_domain()
+        per_retailer_products = [
+            len({report.url for report in reports})
+            for reports in by_domain.values()
+        ]
+        measured.update(
+            crawl_retailers=len(by_domain),
+            crawl_max_products_per_retailer=(
+                max(per_retailer_products) if per_retailer_products else 0
+            ),
+            crawl_days=len(crawl.day_indices),
+            crawl_extracted_prices=crawl.n_extracted_prices,
+        )
+    return DatasetSummary(measured=measured, paper=dict(PAPER_DATASET_NUMBERS))

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``campaign`` -- run the crowdsourced beta campaign, optionally saving the
+  dataset as JSON-lines,
+* ``crawl``    -- run the systematic crawl of the 21 retailers, optionally
+  saving the dataset,
+* ``analyze``  -- re-analyze a saved crawl dataset (figures 3/4/7/9 style
+  summaries) without re-measuring,
+* ``check``    -- one ad-hoc $heriff check against a simulated shop,
+* ``report``   -- run every figure experiment and print the
+  paper-vs-measured report (same output as
+  ``python -m repro.experiments.runner``).
+
+Examples::
+
+    python -m repro.cli campaign --scale quick --out crowd.jsonl
+    python -m repro.cli crawl --scale tiny --out crawl.jsonl
+    python -m repro.cli analyze crawl.jsonl
+    python -m repro.cli check www.digitalrev.com --product 2
+    python -m repro.cli report --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro import io as dataset_io
+from repro.analysis import (
+    clean_reports,
+    domain_ratio_stats,
+    finland_profile,
+    location_ratio_stats,
+    variation_extent,
+)
+from repro.experiments.context import SCALES, ExperimentContext
+from repro.fx.rates import RateService
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Crowd-assisted search for price discrimination (CoNEXT'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", choices=sorted(SCALES), default="tiny",
+                       help="workload scale (default: tiny)")
+        p.add_argument("--seed", type=int, default=2013)
+
+    p_campaign = sub.add_parser("campaign", help="run the crowd campaign")
+    add_scale(p_campaign)
+    p_campaign.add_argument("--out", help="write the dataset to this JSONL file")
+
+    p_crawl = sub.add_parser("crawl", help="run the systematic crawl")
+    add_scale(p_crawl)
+    p_crawl.add_argument("--out", help="write the dataset to this JSONL file")
+
+    p_analyze = sub.add_parser("analyze", help="analyze a saved crawl dataset")
+    p_analyze.add_argument("dataset", help="JSONL file from 'crawl --out'")
+    p_analyze.add_argument("--seed", type=int, default=2013,
+                           help="seed of the run that produced the dataset "
+                                "(needed to reconstruct FX rates)")
+
+    p_check = sub.add_parser("check", help="one ad-hoc $heriff price check")
+    add_scale(p_check)
+    p_check.add_argument("domain", help="simulated shop domain, e.g. www.digitalrev.com")
+    p_check.add_argument("--product", type=int, default=0,
+                         help="catalog index of the product to check")
+
+    p_report = sub.add_parser("report", help="run all figure experiments")
+    add_scale(p_report)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext(args.scale, seed=args.seed)
+    dataset = ctx.crowd
+    summary = dataset.summary()
+    print(
+        f"campaign complete: {summary['requests']} checks / "
+        f"{summary['users']} users / {summary['countries']} countries / "
+        f"{summary['domains']} domains"
+    )
+    for domain, count in dataset.variation_counts().most_common(10):
+        print(f"  flagged {domain:40s} {count}")
+    if args.out:
+        lines = dataset_io.save_crowd_dataset(dataset, args.out, seed=args.seed)
+        print(f"wrote {lines} records to {args.out}")
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext(args.scale, seed=args.seed)
+    dataset = ctx.crawl
+    print(f"crawl complete: {dataset.summary()}")
+    if args.out:
+        lines = dataset_io.save_crawl_dataset(dataset, args.out, seed=args.seed)
+        print(f"wrote {lines} reports to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = dataset_io.load_crawl_dataset(args.dataset)
+    rates = RateService(seed=args.seed)
+    clean = clean_reports(dataset.reports, rates)
+    print(
+        f"loaded {len(dataset)} reports ({dataset.n_extracted_prices:,} prices); "
+        f"guard x{clean.guard:.4f}; kept {clean.n_kept}"
+    )
+    print("\nextent of variation (Fig. 3):")
+    extent = variation_extent(clean.kept)
+    for domain in sorted(extent, key=extent.get, reverse=True):
+        print(f"  {domain:38s} {extent[domain]:.0%}")
+    print("\nmagnitude (Fig. 4, median max/min ratio of flagged checks):")
+    stats = domain_ratio_stats(clean.kept, only_variation=True)
+    for domain in sorted(stats, key=lambda d: stats[d].median):
+        print(f"  {domain:38s} x{stats[domain].median:.3f}")
+    print("\nper-location premium (Fig. 7, box plots of ratio-to-cheapest):")
+    from repro.textplot import boxplot_rows
+
+    locations = location_ratio_stats(clean.kept)
+    print(boxplot_rows(locations, width=44))
+    print("\nFinland profile (Fig. 9):")
+    varied = [r for r in clean.kept if r.has_variation]
+    for domain, s in sorted(finland_profile(varied).items(),
+                            key=lambda kv: kv[1].median):
+        print(f"  {domain:38s} x{s.median:.3f}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.personal import derive_anchor_for_domain
+    from repro.core.backend import CheckRequest
+
+    ctx = ExperimentContext(args.scale, seed=args.seed)
+    world = ctx.world
+    if args.domain not in world.retailers:
+        print(f"unknown domain {args.domain!r}; try one of:", file=sys.stderr)
+        for domain in world.crawled_domains:
+            print(f"  {domain}", file=sys.stderr)
+        return 2
+    catalog = world.retailer(args.domain).catalog
+    if not 0 <= args.product < len(catalog):
+        print(f"product index out of range (0..{len(catalog) - 1})", file=sys.stderr)
+        return 2
+    product = catalog.products[args.product]
+    anchor = derive_anchor_for_domain(world, args.domain)
+    report = ctx.backend.check(CheckRequest(
+        url=f"http://{args.domain}{product.path}", anchor=anchor,
+    ))
+    print(report.summary_line())
+    for obs in report.observations:
+        if obs.ok:
+            print(f"  {obs.vantage:24s} {obs.raw_text:>16s} -> ${obs.usd:9.2f}")
+        else:
+            print(f"  {obs.vantage:24s} FAILED ({obs.error})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    ctx = ExperimentContext(args.scale, seed=args.seed)
+    results = runner.run_all(ctx)
+    print(runner.render_report(results, scale=args.scale))
+    return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+_COMMANDS = {
+    "campaign": _cmd_campaign,
+    "crawl": _cmd_crawl,
+    "analyze": _cmd_analyze,
+    "check": _cmd_check,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

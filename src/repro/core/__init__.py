@@ -1,0 +1,41 @@
+"""$heriff: the paper's crowd-assisted price-discrimination detector.
+
+The pipeline, matching §3.1's six steps:
+
+1. a user *highlights a price* on a product page
+   (:mod:`repro.core.highlight` turns the highlighted DOM node into a
+   robust :class:`~repro.core.highlight.PriceAnchor`),
+2. the browser extension ships the exact URI + anchor to the backend
+   (:mod:`repro.core.extension`),
+3. the backend fans the URI out to the 14 vantage points in a synchronized
+   burst (:mod:`repro.core.backend`),
+4. each downloaded copy of the page has its price extracted at the
+   anchored location (:mod:`repro.core.extraction`), with locale-aware
+   number parsing,
+5. prices are converted to USD and compared under the conservative
+   currency guard; the per-location report goes back to the user
+   (:mod:`repro.core.reports`),
+6. pages are archived for later analysis (:mod:`repro.core.store`).
+"""
+
+from repro.core.backend import CheckRequest, SheriffBackend
+from repro.core.extension import SheriffExtension, UserClient
+from repro.core.extraction import ExtractedPrice, extract_price
+from repro.core.highlight import PriceAnchor, derive_anchor
+from repro.core.reports import PriceCheckReport, VantageObservation
+from repro.core.store import ArchivedPage, PageStore
+
+__all__ = [
+    "ArchivedPage",
+    "CheckRequest",
+    "ExtractedPrice",
+    "PageStore",
+    "PriceAnchor",
+    "PriceCheckReport",
+    "SheriffBackend",
+    "SheriffExtension",
+    "UserClient",
+    "VantageObservation",
+    "derive_anchor",
+    "extract_price",
+]

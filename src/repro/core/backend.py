@@ -1,0 +1,175 @@
+"""The $heriff backend: synchronized fan-out, extraction, archiving.
+
+§3.1 steps (iii)-(vi): when a check arrives, the exact URI is requested
+from the 14 vantage points "around the world" in a tight, synchronized
+burst (reducing the chance that observed variation is temporal spread --
+§2.2), each downloaded page is archived, the price is extracted at the
+anchored location, parsed with the vantage point's locale as a hint,
+converted to USD at the day's mid market rate, and the per-location prices
+are returned to the user as a :class:`~repro.core.reports.PriceCheckReport`.
+
+Transient network failures are retried a bounded number of times; a vantage
+point that stays unreachable yields a failed observation rather than
+aborting the check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.extraction import extract_price
+from repro.core.highlight import PriceAnchor
+from repro.core.reports import PriceCheckReport, VantageObservation
+from repro.core.store import PageStore
+from repro.ecommerce.localization import locale_for_country
+from repro.fx.convert import Converter, max_gap_ratio
+from repro.fx.rates import RateService
+from repro.net.clock import SECONDS_PER_DAY
+from repro.net.transport import Network, TransportError
+from repro.net.urls import URL
+from repro.net.vantage import VantagePoint
+
+__all__ = ["CheckRequest", "SheriffBackend"]
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """What the extension sends to the backend."""
+
+    url: str
+    anchor: PriceAnchor
+    origin: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        URL.parse(self.url)  # validate eagerly; fail at submission time
+
+
+class SheriffBackend:
+    """Fan-out coordinator over a fixed vantage-point fleet."""
+
+    MAX_RETRIES = 2
+
+    def __init__(
+        self,
+        network: Network,
+        vantage_points: Sequence[VantagePoint],
+        rates: RateService,
+        *,
+        store: Optional[PageStore] = None,
+    ) -> None:
+        if not vantage_points:
+            raise ValueError("backend needs at least one vantage point")
+        self.network = network
+        self.vantage_points = list(vantage_points)
+        self.rates = rates
+        self.converter = Converter(rates)
+        self.store = store if store is not None else PageStore()
+        self._check_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        request: CheckRequest,
+        *,
+        vantage_points: Optional[Sequence[VantagePoint]] = None,
+    ) -> PriceCheckReport:
+        """Run one synchronized price check and return the report."""
+        fleet = list(vantage_points) if vantage_points else self.vantage_points
+        check_id = f"chk{next(self._check_counter):07d}"
+        url = URL.parse(request.url)
+        started = self.network.clock.now
+        day_index = int(started // SECONDS_PER_DAY)
+
+        observations: list[VantageObservation] = []
+        currencies_seen: set[str] = set()
+        for vantage in fleet:
+            observations.append(
+                self._observe(vantage, url, request.anchor, check_id, day_index,
+                              currencies_seen)
+            )
+
+        guard = max_gap_ratio(self.rates, currencies_seen or {"USD"}, [day_index])
+        return PriceCheckReport(
+            check_id=check_id,
+            url=str(url),
+            domain=url.host,
+            day_index=day_index,
+            timestamp=started,
+            observations=observations,
+            guard_threshold=guard,
+            origin=request.origin,
+        )
+
+    # ------------------------------------------------------------------
+    def _observe(
+        self,
+        vantage: VantagePoint,
+        url: URL,
+        anchor: PriceAnchor,
+        check_id: str,
+        day_index: int,
+        currencies_seen: set[str],
+    ) -> VantageObservation:
+        response = None
+        error = ""
+        for _ in range(self.MAX_RETRIES + 1):
+            try:
+                response = vantage.fetch(self.network, url)
+                break
+            except TransportError as exc:
+                error = str(exc)
+        location = vantage.location
+        if response is None:
+            return VantageObservation(
+                vantage=vantage.name,
+                country_code=location.country_code,
+                city=location.city,
+                ok=False,
+                error=f"network: {error}",
+            )
+        if not response.ok:
+            return VantageObservation(
+                vantage=vantage.name,
+                country_code=location.country_code,
+                city=location.city,
+                ok=False,
+                error=f"http {int(response.status)}",
+            )
+
+        self.store.archive(
+            check_id=check_id,
+            url=str(url),
+            domain=url.host,
+            vantage=vantage.name,
+            timestamp=self.network.clock.now,
+            html=response.body,
+        )
+
+        locale = locale_for_country(location.country_code)
+        extracted = extract_price(response.body, anchor, locale_hint=locale)
+        if not extracted.ok or extracted.amount is None:
+            return VantageObservation(
+                vantage=vantage.name,
+                country_code=location.country_code,
+                city=location.city,
+                ok=False,
+                error=extracted.error or "extraction failed",
+            )
+        # A symbol-less price string falls back to the locale the retailer
+        # would have displayed for this vantage point.
+        currency = extracted.currency or locale.currency.code
+        currencies_seen.add(currency)
+        usd = self.converter.to_usd(extracted.amount, currency, day_index)
+        return VantageObservation(
+            vantage=vantage.name,
+            country_code=location.country_code,
+            city=location.city,
+            ok=True,
+            raw_text=extracted.raw_text,
+            amount=extracted.amount,
+            currency=currency,
+            usd=usd,
+            method=extracted.method,
+        )

@@ -1,0 +1,135 @@
+"""Selector-guided price extraction from fetched pages.
+
+Step (iv) of §3.1: "given the user has highlighted the price on the page,
+we use that information to extract the price from the downloaded page at
+different locations."
+
+The downloaded copy is *not* the page the user saw: the amount differs, the
+currency usually differs, number formatting differs, and the structure may
+have shifted.  Extraction therefore:
+
+1. resolves the anchor -- selector first, structural node path second;
+2. parses the node's text with the locale-aware number parser
+   (:func:`repro.ecommerce.localization.parse_price`);
+3. reports *how* it succeeded (``method``) so analysis can quantify anchor
+   robustness (one of the DESIGN.md ablations).
+
+Failures return an :class:`ExtractedPrice` with ``ok=False`` and a reason
+rather than raising: a fan-out must tolerate one bad vantage page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.highlight import PriceAnchor
+from repro.ecommerce.localization import Locale, PriceFormatError, parse_price
+from repro.htmlmodel.dom import Document, Element, NodePath
+from repro.htmlmodel.parser import parse_html
+from repro.htmlmodel.selectors import Selector, SelectorError
+
+__all__ = ["ExtractedPrice", "extract_price", "extract_price_from_document"]
+
+
+@dataclass(frozen=True)
+class ExtractedPrice:
+    """The outcome of one extraction attempt."""
+
+    ok: bool
+    amount: Optional[float] = None
+    currency: Optional[str] = None  # ISO code, None when symbol-less
+    raw_text: str = ""
+    method: str = ""  # "selector" | "node-path" | ""
+    error: str = ""
+
+    @classmethod
+    def failure(cls, error: str) -> "ExtractedPrice":
+        return cls(ok=False, error=error)
+
+
+def extract_price(
+    html: str,
+    anchor: PriceAnchor,
+    *,
+    locale_hint: Optional[Locale] = None,
+) -> ExtractedPrice:
+    """Extract the anchored price from an HTML string."""
+    try:
+        document = parse_html(html)
+    except Exception as exc:  # parser recovers from almost anything
+        return ExtractedPrice.failure(f"unparseable page: {exc}")
+    return extract_price_from_document(document, anchor, locale_hint=locale_hint)
+
+
+def extract_price_from_document(
+    document: Document,
+    anchor: PriceAnchor,
+    *,
+    locale_hint: Optional[Locale] = None,
+) -> ExtractedPrice:
+    """Extract from an already-parsed document (crawler fast path)."""
+    element, method = _resolve(document, anchor)
+    if element is None:
+        return ExtractedPrice.failure("anchor matched nothing")
+    text = element.text(strip=True)
+    if not text:
+        return ExtractedPrice.failure(f"anchored node is empty (via {method})")
+    try:
+        parsed = parse_price(text, locale_hint=locale_hint)
+    except PriceFormatError as exc:
+        return ExtractedPrice.failure(f"unparseable price text {text!r}: {exc}")
+    return ExtractedPrice(
+        ok=True,
+        amount=parsed.amount,
+        currency=parsed.currency,
+        raw_text=text,
+        method=method,
+    )
+
+
+def _resolve(
+    document: Document, anchor: PriceAnchor
+) -> tuple[Optional[Element], str]:
+    """Selector first, structural path as fallback."""
+    if anchor.selector:
+        try:
+            matches = Selector.parse(anchor.selector).select(document)
+        except SelectorError:
+            matches = []
+        if len(matches) == 1:
+            return matches[0], "selector"
+        if len(matches) > 1:
+            # Ambiguity on a foreign render: prefer the match whose position
+            # is closest to the recorded structural path.
+            target = _path_steps(anchor)
+            if target is not None:
+                best = min(
+                    matches,
+                    key=lambda el: _path_distance(el.node_path().steps, target),
+                )
+                return best, "selector"
+            return matches[0], "selector"
+    target = _path_steps(anchor)
+    if target is not None:
+        element = document.find_by_path(NodePath(target))
+        if element is not None:
+            return element, "node-path"
+    return None, ""
+
+
+def _path_steps(anchor: PriceAnchor) -> Optional[tuple[int, ...]]:
+    try:
+        return NodePath.parse(anchor.node_path).steps
+    except ValueError:
+        return None
+
+
+def _path_distance(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+    """A cheap tree-edit proxy: prefix mismatch position + length gap."""
+    common = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        common += 1
+    return (len(a) - common) + (len(b) - common)

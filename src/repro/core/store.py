@@ -1,0 +1,99 @@
+"""The page archive: "(vi) We store the pages for analysis in a database."
+
+The store keeps *metadata* for every archived fetch but caps the number of
+full HTML bodies retained per domain: the third-party census (§4.4) needs a
+handful of pages per retailer, while a paper-scale crawl would otherwise
+hold ~200K pages of HTML in memory.  The cap is a store policy, not a
+caller concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["ArchivedPage", "PageStore"]
+
+
+@dataclass(frozen=True)
+class ArchivedPage:
+    """One archived fetch."""
+
+    check_id: str
+    url: str
+    domain: str
+    vantage: str
+    timestamp: float
+    html: Optional[str]  # None when only metadata was retained
+
+    @property
+    def retained(self) -> bool:
+        return self.html is not None
+
+
+class PageStore:
+    """In-memory page database with per-domain HTML retention caps."""
+
+    def __init__(self, *, html_per_domain: int = 30) -> None:
+        if html_per_domain < 0:
+            raise ValueError("html_per_domain must be >= 0")
+        self.html_per_domain = html_per_domain
+        self._pages: list[ArchivedPage] = []
+        self._html_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def archive(
+        self,
+        *,
+        check_id: str,
+        url: str,
+        domain: str,
+        vantage: str,
+        timestamp: float,
+        html: str,
+    ) -> ArchivedPage:
+        """Store one fetched page, retaining HTML if under the domain cap."""
+        count = self._html_counts.get(domain, 0)
+        keep = count < self.html_per_domain
+        page = ArchivedPage(
+            check_id=check_id,
+            url=url,
+            domain=domain,
+            vantage=vantage,
+            timestamp=timestamp,
+            html=html if keep else None,
+        )
+        if keep:
+            self._html_counts[domain] = count + 1
+        self._pages.append(page)
+        return page
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __iter__(self) -> Iterator[ArchivedPage]:
+        return iter(self._pages)
+
+    def pages_for_domain(
+        self, domain: str, *, with_html_only: bool = False
+    ) -> list[ArchivedPage]:
+        """All archived pages of one domain (optionally HTML-bearing only)."""
+        return [
+            page
+            for page in self._pages
+            if page.domain == domain and (page.retained or not with_html_only)
+        ]
+
+    def domains(self) -> list[str]:
+        """Every domain with at least one archived page, sorted."""
+        return sorted({page.domain for page in self._pages})
+
+    def retained_html_count(self) -> int:
+        """How many archived pages still carry their full HTML."""
+        return sum(1 for page in self._pages if page.retained)
+
+    def clear(self) -> None:
+        """Drop every archived page and reset the retention counters."""
+        self._pages.clear()
+        self._html_counts.clear()

@@ -1,0 +1,28 @@
+"""Systematic crawler.
+
+§3.2/§4: "we systematically crawled the sites of retailers where $heriff
+revealed price differences ... 21 retailers ... up to 100 products per
+retailer ... prices checked on a daily basis for a week ... 188K extracted
+prices in aggregate."
+
+* :mod:`repro.crawler.plan` -- select target retailers from the crowd
+  dataset (plus the carry-overs from the authors' earlier study), discover
+  product URLs from the shops' index pages, and derive one price anchor
+  per retailer,
+* :mod:`repro.crawler.crawl` -- the synchronized daily crawl over the
+  vantage fleet,
+* :mod:`repro.crawler.records` -- the crawled dataset container.
+"""
+
+from repro.crawler.crawl import CrawlConfig, run_crawl
+from repro.crawler.plan import CrawlPlan, CrawlTarget, build_plan
+from repro.crawler.records import CrawlDataset
+
+__all__ = [
+    "CrawlConfig",
+    "CrawlDataset",
+    "CrawlPlan",
+    "CrawlTarget",
+    "build_plan",
+    "run_crawl",
+]

@@ -1,0 +1,65 @@
+"""The crawled dataset: reports from the systematic daily crawl."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.reports import PriceCheckReport
+
+__all__ = ["CrawlDataset"]
+
+
+@dataclass
+class CrawlDataset:
+    """All product-day reports produced by :func:`repro.crawler.run_crawl`."""
+
+    reports: list[PriceCheckReport] = field(default_factory=list)
+
+    def add(self, report: PriceCheckReport) -> None:
+        """Append one product-day report."""
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self) -> Iterator[PriceCheckReport]:
+        return iter(self.reports)
+
+    # ------------------------------------------------------------------
+    @property
+    def domains(self) -> list[str]:
+        return sorted({report.domain for report in self.reports})
+
+    @property
+    def day_indices(self) -> list[int]:
+        return sorted({report.day_index for report in self.reports})
+
+    @property
+    def n_extracted_prices(self) -> int:
+        """Total successful price extractions -- the paper's '188K'."""
+        return sum(len(report.valid_observations()) for report in self.reports)
+
+    def by_domain(self) -> dict[str, list[PriceCheckReport]]:
+        """Reports grouped by retailer domain."""
+        out: dict[str, list[PriceCheckReport]] = {}
+        for report in self.reports:
+            out.setdefault(report.domain, []).append(report)
+        return out
+
+    def by_product(self) -> dict[str, list[PriceCheckReport]]:
+        """URL -> that product's reports across days."""
+        out: dict[str, list[PriceCheckReport]] = {}
+        for report in self.reports:
+            out.setdefault(report.url, []).append(report)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        """Headline dataset statistics (the §3.2 crawl numbers)."""
+        return {
+            "retailers": len(self.domains),
+            "reports": len(self.reports),
+            "days": len(self.day_indices),
+            "extracted_prices": self.n_extracted_prices,
+            "products": len(self.by_product()),
+        }

@@ -1,0 +1,26 @@
+"""Crowdsourcing simulation.
+
+§3.2's dataset: "1500 requests (between Jan-May 2013) ... issued by 340
+different users from 18 countries ... checked products from 600 domains."
+
+* :mod:`repro.crowd.population` -- the 340-user population with realistic
+  country skew and per-user category interests,
+* :mod:`repro.crowd.campaign` -- the beta-test campaign: users browse
+  shops they care about, highlight prices, and trigger $heriff checks
+  over the Jan-May window,
+* :mod:`repro.crowd.dataset` -- the resulting crowdsourced dataset and its
+  summary statistics.
+"""
+
+from repro.crowd.campaign import CampaignConfig, run_campaign
+from repro.crowd.dataset import CheckRecord, CrowdDataset
+from repro.crowd.population import CrowdUser, build_population
+
+__all__ = [
+    "CampaignConfig",
+    "CheckRecord",
+    "CrowdDataset",
+    "CrowdUser",
+    "build_population",
+    "run_campaign",
+]

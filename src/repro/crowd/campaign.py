@@ -1,0 +1,164 @@
+"""The beta-test campaign: simulated crowd usage of $heriff.
+
+Reproduces the data-generating process behind §3.2's dataset: over the
+Jan-May 2013 window, users open product pages on shops they care about,
+highlight the price, and click the $heriff button.  Domain choice blends
+
+* global popularity (big brands get checked most -- Fig. 1's head),
+* the user's category interests (a cyclist checks bike shops), and
+* the long tail of small shops (most of the ~600 domains, almost all of
+  which turn out to price uniformly -- the discovery problem).
+
+Imperfect users are part of the model: with a small probability the
+highlight lands on a *recommended-product* price instead of the product
+price (the kind of crowd noise §3.2 says had to be cleaned before
+analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.backend import SheriffBackend
+from repro.core.extension import SheriffExtension
+from repro.crowd.dataset import CheckRecord, CrowdDataset
+from repro.crowd.population import CrowdUser, build_population
+from repro.ecommerce.world import World
+from repro.htmlmodel.dom import Document, Element
+from repro.htmlmodel.selectors import Selector, SelectorError
+from repro.net.clock import SECONDS_PER_DAY
+from repro.util import stable_rng
+
+__all__ = ["CampaignConfig", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of the beta campaign (defaults = the paper's numbers)."""
+
+    n_checks: int = 1500
+    population_size: int = 340
+    start_day: int = 0  # 2013-01-01
+    end_day: int = 150  # ~end of May
+    seed: int = 2013
+    #: Probability a user highlights a decoy price instead of the product
+    #: price (crowd noise).
+    p_wrong_highlight: float = 0.03
+    #: Probability the user arrived via a price aggregator (their Referer
+    #: header may earn them a personal discount the fan-out cannot see).
+    p_referred: float = 0.05
+    #: Weight multiplier for domains matching a user's interests.
+    interest_boost: float = 3.0
+    aggregator_referer: str = "http://www.pricegrabber.com/search"
+
+    def __post_init__(self) -> None:
+        if self.n_checks <= 0:
+            raise ValueError("n_checks must be positive")
+        if self.end_day <= self.start_day:
+            raise ValueError("campaign window must be non-empty")
+        if not 0.0 <= self.p_wrong_highlight <= 1.0:
+            raise ValueError("p_wrong_highlight must be a probability")
+        if not 0.0 <= self.p_referred <= 1.0:
+            raise ValueError("p_referred must be a probability")
+
+
+def run_campaign(
+    world: World,
+    backend: SheriffBackend,
+    config: Optional[CampaignConfig] = None,
+) -> CrowdDataset:
+    """Run the campaign and return the crowdsourced dataset.
+
+    The world's virtual clock is advanced through the campaign window, so
+    checks carry realistic timestamps (and FX rates move under them).
+    """
+    config = config or CampaignConfig()
+    rng = stable_rng(config.seed, "campaign")
+    extension = SheriffExtension(backend, world.network)
+    users = build_population(
+        world.plan, size=config.population_size, seed=config.seed
+    )
+
+    base_weights = world.crowd_weights()
+    domains = sorted(base_weights)
+    categories = {
+        domain: world.retailer(domain).category for domain in domains
+    }
+
+    # Pre-compute per-user cumulative domain weights lazily (340 users x
+    # 600 domains is fine, but most users never check; build on demand).
+    per_user_weights: dict[str, list[float]] = {}
+
+    def weights_for(user: CrowdUser) -> list[float]:
+        cached = per_user_weights.get(user.user_id)
+        if cached is not None:
+            return cached
+        weights = [
+            base_weights[domain]
+            * (config.interest_boost if categories[domain] in user.interests else 1.0)
+            for domain in domains
+        ]
+        per_user_weights[user.user_id] = weights
+        return weights
+
+    user_weights = [user.activity for user in users]
+    dataset = CrowdDataset()
+    window_seconds = (config.end_day - config.start_day) * SECONDS_PER_DAY
+    offsets = sorted(rng.uniform(0, window_seconds) for _ in range(config.n_checks))
+
+    for check_index, offset in enumerate(offsets):
+        timestamp = config.start_day * SECONDS_PER_DAY + offset
+        if timestamp > world.clock.now:
+            world.clock.advance_to(timestamp)
+        user = rng.choices(users, weights=user_weights, k=1)[0]
+        domain = rng.choices(domains, weights=weights_for(user), k=1)[0]
+        retailer = world.retailer(domain)
+        product = rng.choice(retailer.catalog.products)
+        url = f"http://{domain}{product.path}"
+        finder = _make_finder(
+            retailer.template.price_selector,
+            wrong=rng.random() < config.p_wrong_highlight,
+        )
+        referer = (
+            config.aggregator_referer if rng.random() < config.p_referred else None
+        )
+        outcome = extension.check_product(
+            user.client, url, finder, origin=user.user_id, referer=referer
+        )
+        dataset.add(
+            CheckRecord(
+                user_id=user.user_id,
+                user_country=user.country_code,
+                day_index=int(timestamp // SECONDS_PER_DAY),
+                domain=domain,
+                url=url,
+                outcome=outcome,
+            )
+        )
+    return dataset
+
+
+def _make_finder(price_selector: str, *, wrong: bool):
+    """The user's eyes: locate the price (or, rarely, a decoy) on a page."""
+
+    def find(document: Document) -> Optional[Element]:
+        if wrong:
+            decoys = _decoy_candidates(document)
+            if decoys:
+                return decoys[0]
+        try:
+            return Selector.parse(price_selector).select_one(document)
+        except SelectorError:
+            return None
+
+    return find
+
+
+def _decoy_candidates(document: Document) -> list[Element]:
+    """Price-looking nodes inside the recommendations block."""
+    try:
+        cards = Selector.parse("section.recommendations span").select(document)
+    except SelectorError:
+        return []
+    return [card for card in cards if any(ch.isdigit() for ch in card.text())]

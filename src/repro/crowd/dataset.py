@@ -1,0 +1,120 @@
+"""The crowdsourced dataset and its summary statistics.
+
+Everything Figs. 1-2 need lives here: per-domain counts of checks showing
+variation, per-domain ratio distributions, and the §3.2 headline numbers
+(requests, users, countries, domains).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.extension import CheckOutcome
+from repro.core.reports import PriceCheckReport
+
+__all__ = ["CheckRecord", "CrowdDataset"]
+
+
+@dataclass(frozen=True)
+class CheckRecord:
+    """One crowd-triggered check: who asked, what came back."""
+
+    user_id: str
+    user_country: str
+    day_index: int
+    domain: str
+    url: str
+    outcome: CheckOutcome
+
+    @property
+    def report(self) -> Optional[PriceCheckReport]:
+        return self.outcome.report
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome.ok
+
+
+@dataclass
+class CrowdDataset:
+    """The full beta-phase collection."""
+
+    records: list[CheckRecord] = field(default_factory=list)
+
+    def add(self, record: CheckRecord) -> None:
+        """Append one crowd check record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CheckRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # §3.2 headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_users(self) -> int:
+        return len({record.user_id for record in self.records})
+
+    @property
+    def n_countries(self) -> int:
+        return len({record.user_country for record in self.records})
+
+    @property
+    def n_domains(self) -> int:
+        return len({record.domain for record in self.records})
+
+    def summary(self) -> dict[str, int]:
+        """The §3.2 headline numbers of this dataset."""
+        return {
+            "requests": self.n_requests,
+            "users": self.n_users,
+            "countries": self.n_countries,
+            "domains": self.n_domains,
+        }
+
+    # ------------------------------------------------------------------
+    # Figure inputs
+    # ------------------------------------------------------------------
+    def reports(self) -> list[PriceCheckReport]:
+        """All successfully completed check reports."""
+        return [record.report for record in self.records if record.report]
+
+    def variation_counts(self) -> Counter:
+        """domain -> number of requests whose variation beat the guard.
+
+        This is exactly Fig. 1's y-axis.
+        """
+        counts: Counter = Counter()
+        for record in self.records:
+            report = record.report
+            if report is not None and report.has_variation:
+                counts[record.domain] += 1
+        return counts
+
+    def ratios_by_domain(self, *, only_variation: bool = True) -> dict[str, list[float]]:
+        """domain -> list of per-check max/min ratios (Fig. 2's input)."""
+        out: dict[str, list[float]] = {}
+        for record in self.records:
+            report = record.report
+            if report is None:
+                continue
+            ratio = report.ratio
+            if ratio is None:
+                continue
+            if only_variation and not report.has_variation:
+                continue
+            out.setdefault(record.domain, []).append(ratio)
+        return out
+
+    def checks_for_domain(self, domain: str) -> list[CheckRecord]:
+        """Every check the crowd ran against one domain."""
+        return [record for record in self.records if record.domain == domain]

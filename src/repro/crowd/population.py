@@ -1,0 +1,90 @@
+"""The crowd: $heriff's beta-test user population.
+
+340 users from 18 countries (§3.2), generated deterministically.  Country
+shares are skewed the way a Barcelona-built browser extension's beta
+population plausibly was (Spain heaviest, then US/EU).  Each user gets a
+browser profile, an IP in their city's geo block, and 2-3 category
+interests that bias which shops they check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.extension import UserClient
+from repro.net.geoip import COUNTRY_NAMES, COUNTRY_SEED, GeoLocation, IPAddressPlan
+from repro.net.useragent import profile_for
+from repro.util import stable_rng
+
+__all__ = ["CrowdUser", "build_population", "COUNTRY_SHARES"]
+
+#: (country code, relative share of users).  18 countries, per §3.2.
+COUNTRY_SHARES: tuple[tuple[str, float], ...] = (
+    ("ES", 0.22), ("US", 0.18), ("DE", 0.09), ("GB", 0.08), ("IT", 0.07),
+    ("FR", 0.06), ("BR", 0.05), ("PL", 0.04), ("NL", 0.035), ("BE", 0.03),
+    ("FI", 0.03), ("PT", 0.025), ("GR", 0.025), ("IE", 0.02), ("SE", 0.02),
+    ("CH", 0.02), ("CA", 0.02), ("AU", 0.015),
+)
+
+_INTEREST_POOL = (
+    "books", "ebooks", "clothing", "shoes", "luxury-fashion", "leather-goods",
+    "sunglasses", "electronics", "photography", "office", "home-improvement",
+    "sports-nutrition", "cycling", "baby", "games", "hotels", "travel",
+    "automobiles", "department",
+)
+
+_BROWSER_MIX = (
+    ("firefox", "linux"), ("firefox", "windows"), ("chrome", "windows"),
+    ("chrome", "macos"), ("safari", "macos"), ("chrome", "linux"),
+)
+
+
+@dataclass
+class CrowdUser:
+    """One beta tester: identity, location, browser, interests."""
+
+    user_id: str
+    client: UserClient
+    interests: tuple[str, ...]
+    #: Relative likelihood of this user issuing any given check (a few
+    #: enthusiasts dominate beta usage).
+    activity: float = 1.0
+
+    @property
+    def country_code(self) -> str:
+        return self.client.location.country_code
+
+
+def build_population(
+    plan: IPAddressPlan, *, size: int = 340, seed: int = 2013
+) -> list[CrowdUser]:
+    """Generate the deterministic beta population."""
+    if size <= 0:
+        raise ValueError("population size must be positive")
+    rng = stable_rng(seed, "crowd-population")
+    cities = {code: cities for code, _, cities in COUNTRY_SEED}
+    countries = [code for code, _ in COUNTRY_SHARES]
+    weights = [share for _, share in COUNTRY_SHARES]
+    users: list[CrowdUser] = []
+    for index in range(size):
+        country = rng.choices(countries, weights=weights, k=1)[0]
+        city = rng.choice(cities[country])
+        browser, os_name = rng.choice(_BROWSER_MIX)
+        user_id = f"u{index:04d}"
+        client = UserClient(
+            name=user_id,
+            location=GeoLocation(country, COUNTRY_NAMES[country], city),
+            ip=plan.allocate(country, city),
+            profile=profile_for(browser, os_name),
+        )
+        interest_count = rng.randint(2, 3)
+        interests = tuple(rng.sample(_INTEREST_POOL, interest_count))
+        # Pareto-ish activity: a few users check prices constantly.
+        activity = rng.paretovariate(1.6)
+        users.append(
+            CrowdUser(
+                user_id=user_id, client=client, interests=interests,
+                activity=activity,
+            )
+        )
+    return users

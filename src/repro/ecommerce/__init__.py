@@ -1,0 +1,45 @@
+"""Simulated e-commerce world.
+
+The paper measures live retailers; we cannot, so this package builds the
+closest synthetic equivalent: a population of retailer web servers with
+
+* per-retailer product **catalogs** (:mod:`repro.ecommerce.catalog`),
+* per-retailer **pricing policies** implementing the behaviours the paper
+  observes -- uniform, multiplicative-by-geo, additive-by-geo, mixed,
+  per-city tiers, A/B noise, login-keyed, temporal drift
+  (:mod:`repro.ecommerce.pricing`),
+* country-correct **localization** of currencies and number formats, the
+  paper's main measurement noise source (:mod:`repro.ecommerce.localization`),
+* diverse HTML **templates** that bury the product price among recommended
+  products and ads, the paper's main extraction challenge
+  (:mod:`repro.ecommerce.templates`),
+* embedded **third-party trackers** whose presence §4.4 quantifies
+  (:mod:`repro.ecommerce.thirdparty`),
+* user **personas** and login accounts for the §4.4 personal-information
+  experiments (:mod:`repro.ecommerce.personas`),
+* and a **world builder** that assembles the paper's retailers plus a long
+  tail of honest shops into one routable simulated web
+  (:mod:`repro.ecommerce.world`).
+"""
+
+from repro.ecommerce.catalog import Catalog, Product
+from repro.ecommerce.localization import Locale, format_price, locale_for_country, parse_price
+from repro.ecommerce.pricing import PricingContext, PricingPolicy
+from repro.ecommerce.retailer import Retailer, RetailerServer
+from repro.ecommerce.world import World, WorldConfig, build_world
+
+__all__ = [
+    "Catalog",
+    "Locale",
+    "PricingContext",
+    "PricingPolicy",
+    "Product",
+    "Retailer",
+    "RetailerServer",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "format_price",
+    "locale_for_country",
+    "parse_price",
+]

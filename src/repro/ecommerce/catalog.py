@@ -1,0 +1,216 @@
+"""Product catalogs.
+
+Each retailer owns a :class:`Catalog` of :class:`Product` items generated
+deterministically from the retailer's seed.  Base prices are drawn
+log-uniformly inside the category's plausible band, which is what gives
+Fig. 5 its $10-$10K x-axis span once all retailers are pooled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["Product", "Catalog", "CATEGORY_PRICE_BANDS", "generate_catalog"]
+
+
+@dataclass(frozen=True)
+class Product:
+    """One sellable item.
+
+    ``base_price_usd`` is the retailer's reference price; pricing policies
+    derive per-context prices from it.  ``path`` is the product page path on
+    the retailer's site -- the identity $heriff fans out.
+    """
+
+    sku: str
+    name: str
+    category: str
+    base_price_usd: float
+    path: str
+
+    def __post_init__(self) -> None:
+        if self.base_price_usd <= 0:
+            raise ValueError(f"non-positive price for {self.sku}")
+        if not self.path.startswith("/"):
+            raise ValueError(f"product path must be absolute: {self.path!r}")
+
+
+#: category -> (min, max) base price band in USD, chosen to match the
+#: verticals the paper names (books, clothing, office/electronics, cars,
+#: department stores, hotels, travel, photography, home improvement).
+CATEGORY_PRICE_BANDS: dict[str, tuple[float, float]] = {
+    "books": (6.0, 80.0),
+    "ebooks": (3.0, 25.0),
+    "clothing": (15.0, 400.0),
+    "shoes": (30.0, 350.0),
+    "luxury-fashion": (90.0, 9500.0),
+    "leather-goods": (40.0, 2500.0),
+    "sunglasses": (80.0, 450.0),
+    "electronics": (20.0, 3000.0),
+    "photography": (8.0, 6500.0),
+    "office": (4.0, 900.0),
+    "home-improvement": (8.0, 2200.0),
+    "sports-nutrition": (9.0, 120.0),
+    "cycling": (10.0, 4500.0),
+    "baby": (12.0, 600.0),
+    "games": (5.0, 60.0),
+    "hotels": (45.0, 900.0),
+    "travel": (60.0, 1500.0),
+    "automobiles": (1500.0, 9900.0),
+    "department": (8.0, 1200.0),
+    "general": (10.0, 500.0),
+}
+
+_ADJECTIVES = (
+    "Classic", "Urban", "Vintage", "Premium", "Essential", "Deluxe", "Eco",
+    "Pro", "Compact", "Heritage", "Signature", "Modern", "Slim", "Robust",
+    "Featherweight", "Studio", "Traveler", "Nordic", "Coastal", "Alpine",
+)
+_NOUNS_BY_CATEGORY: dict[str, tuple[str, ...]] = {
+    "books": ("Novel", "Atlas", "Cookbook", "Biography", "Anthology", "Field Guide"),
+    "ebooks": ("Novel", "Short Stories", "Mystery", "Thriller", "Romance", "Sci-Fi Epic"),
+    "clothing": ("Jeans", "Jacket", "Shirt", "Sweater", "Dress", "Coat", "T-Shirt"),
+    "shoes": ("Sneakers", "Boots", "Loafers", "Sandals", "Oxfords", "Trainers"),
+    "luxury-fashion": ("Gown", "Handbag", "Blazer", "Silk Scarf", "Trench Coat", "Clutch"),
+    "leather-goods": ("Briefcase", "Wallet", "Belt", "Satchel", "Tote", "Duffel"),
+    "sunglasses": ("Aviators", "Wayfarers", "Sport Shades", "Polarized Classics",),
+    "electronics": ("Headphones", "Tablet", "Monitor", "Router", "Speaker", "Keyboard"),
+    "photography": ("DSLR Body", "Prime Lens", "Zoom Lens", "Tripod", "Flash", "Filter Kit"),
+    "office": ("Desk Chair", "Paper Ream", "Printer", "Stapler", "Ink Set", "Shredder"),
+    "home-improvement": ("Drill", "Ladder", "Faucet", "Tile Pack", "Saw", "Paint Kit"),
+    "sports-nutrition": ("Whey Protein", "Creatine", "BCAA Mix", "Energy Gel", "Vitamin Pack"),
+    "cycling": ("Road Frame", "Wheelset", "Derailleur", "Helmet", "Saddle", "Pedal Set"),
+    "baby": ("Stroller", "Car Seat", "Crib", "High Chair", "Play Mat", "Monitor"),
+    "games": ("Strategy Game", "RPG", "Shooter", "Indie Puzzle", "Racing Game"),
+    "hotels": ("City Room", "Suite", "Double Room", "Boutique Stay", "Resort Night"),
+    "travel": ("Getaway Package", "City Break", "Beach Week", "Mountain Escape"),
+    "automobiles": ("Sedan", "Hatchback", "Coupe", "Wagon", "Compact SUV", "Pickup"),
+    "department": ("Blender", "Duvet", "Lamp", "Cookware Set", "Vacuum", "Toaster"),
+    "general": ("Gadget", "Accessory", "Bundle", "Kit", "Set"),
+}
+
+
+@dataclass
+class Catalog:
+    """An ordered collection of a retailer's products."""
+
+    retailer: str
+    products: list[Product] = field(default_factory=list)
+    _by_sku: dict[str, Product] = field(default_factory=dict, repr=False)
+    _by_path: dict[str, Product] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for product in self.products:
+            self._index(product)
+
+    def _index(self, product: Product) -> None:
+        if product.sku in self._by_sku:
+            raise ValueError(f"duplicate sku {product.sku} in {self.retailer}")
+        if product.path in self._by_path:
+            raise ValueError(f"duplicate path {product.path} in {self.retailer}")
+        self._by_sku[product.sku] = product
+        self._by_path[product.path] = product
+
+    def add(self, product: Product) -> None:
+        """Add a product, enforcing unique SKU and path."""
+        self._index(product)
+        self.products.append(product)
+
+    def by_sku(self, sku: str) -> Optional[Product]:
+        """Look a product up by SKU, or None."""
+        return self._by_sku.get(sku)
+
+    def by_path(self, path: str) -> Optional[Product]:
+        """Look a product up by its page path, or None."""
+        return self._by_path.get(path)
+
+    def __len__(self) -> int:
+        return len(self.products)
+
+    def __iter__(self) -> Iterator[Product]:
+        return iter(self.products)
+
+    def sample(self, count: int, *, rng: random.Random) -> list[Product]:
+        """Up to ``count`` products, sampled without replacement."""
+        if count >= len(self.products):
+            return list(self.products)
+        return rng.sample(self.products, count)
+
+
+def generate_catalog(
+    retailer: str,
+    category: str,
+    size: int,
+    *,
+    seed: int,
+    price_band: Optional[tuple[float, float]] = None,
+    path_style: str = "product",
+    sku_prefix: Optional[str] = None,
+    into: Optional[Catalog] = None,
+) -> Catalog:
+    """Generate ``size`` products for ``retailer`` deterministically.
+
+    ``path_style`` varies the URL shape per retailer ("product" ->
+    ``/product/SKU``, "p-html" -> ``/p/SKU.html``, "item-query" ->
+    ``/item?sku=SKU``) so the crawler and $heriff cannot assume one scheme.
+
+    ``sku_prefix`` overrides the default retailer-derived prefix -- needed
+    when one retailer sells several categories (amazon's Kindle ebooks next
+    to everything else) and the sub-catalogs must not collide.  ``into``
+    appends to an existing catalog instead of creating a new one.
+    """
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    if category not in CATEGORY_PRICE_BANDS:
+        raise KeyError(f"unknown category {category!r}")
+    from repro.util import stable_rng
+
+    rng = stable_rng(seed, retailer, category, "catalog")
+    low, high = price_band or CATEGORY_PRICE_BANDS[category]
+    if not (0 < low < high):
+        raise ValueError(f"bad price band ({low}, {high})")
+    nouns = _NOUNS_BY_CATEGORY.get(category, _NOUNS_BY_CATEGORY["general"])
+    catalog = into if into is not None else Catalog(retailer=retailer)
+    prefix = sku_prefix or _sku_prefix(retailer)
+    import math
+
+    for index in range(size):
+        sku = f"{prefix}{index:05d}"
+        adjective = rng.choice(_ADJECTIVES)
+        noun = rng.choice(nouns)
+        name = f"{adjective} {noun} {rng.randint(100, 999)}"
+        # Log-uniform base price, psychologically rounded to x.99 below $200.
+        price = math.exp(rng.uniform(math.log(low), math.log(high)))
+        if price < 200:
+            price = max(low, round(price) - 0.01)
+        else:
+            price = float(round(price))
+        catalog.add(
+            Product(
+                sku=sku,
+                name=name,
+                category=category,
+                base_price_usd=round(price, 2),
+                path=_product_path(path_style, sku),
+            )
+        )
+    return catalog
+
+
+def _sku_prefix(retailer: str) -> str:
+    letters = [c for c in retailer.upper() if c.isalpha()]
+    return "".join(letters[:3]) or "SKU"
+
+
+def _product_path(style: str, sku: str) -> str:
+    if style == "product":
+        return f"/product/{sku}"
+    if style == "p-html":
+        return f"/p/{sku}.html"
+    if style == "item-query":
+        return f"/item/{sku}"
+    if style == "deep":
+        return f"/shop/catalog/{sku}/details"
+    raise ValueError(f"unknown path style {style!r}")

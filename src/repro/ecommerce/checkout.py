@@ -1,0 +1,96 @@
+"""Checkout quotes: shipping and tax, revealed only at checkout.
+
+§2.2 of the paper: "There are also reasons like taxation, logistics,
+shipping costs ... that can cause price differences that are not due to
+discrimination.  For proper attribution ... we need to ensure the known
+reasons cannot explain the variations.  Most e-retailers do not include
+shipping and taxing before checkout."
+
+So the simulated shops work the same way: the *displayed* product price
+excludes shipping and tax, and a ``/checkout/<sku>`` page itemizes
+
+    item price + shipping + VAT = total
+
+:class:`ShippingPolicy` also models the one confound that makes attribution
+non-trivial: *bundled display* -- a shop that folds shipping into the
+displayed price for some destinations (and then ships "free").  Its
+displayed prices vary by location while its checkout totals do not; the
+attribution analysis (:mod:`repro.analysis.attribution`) must classify that
+variation as logistics, not discrimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ShippingPolicy", "VAT_RATES", "vat_rate", "CheckoutQuote"]
+
+#: 2013 standard VAT rates for the countries in the simulation.
+VAT_RATES: dict[str, float] = {
+    "ES": 0.21, "DE": 0.19, "BE": 0.21, "FI": 0.24, "IT": 0.22,
+    "FR": 0.196, "NL": 0.21, "PT": 0.23, "GR": 0.23, "IE": 0.23,
+    "GB": 0.20, "PL": 0.23, "SE": 0.25,
+}
+
+_EU_VAT_AREA = frozenset(VAT_RATES)
+
+
+def vat_rate(retailer_home: str, destination: str) -> float:
+    """The VAT rate a shop charges at checkout for a destination.
+
+    EU-established shops charge the destination's VAT inside the EU VAT
+    area and nothing outside it (export); non-EU shops charge no tax at
+    checkout (the paper: custom duties are settled post-sale between the
+    customer and the customs authority, without the retailer).
+    """
+    if retailer_home.upper() not in _EU_VAT_AREA:
+        return 0.0
+    return VAT_RATES.get(destination.upper(), 0.0)
+
+
+@dataclass(frozen=True)
+class ShippingPolicy:
+    """Per-retailer shipping table, quoted at checkout in USD."""
+
+    domestic: float = 4.0
+    international: float = 14.0
+    #: Order value above which shipping is free.
+    free_threshold: Optional[float] = None
+    #: Destinations whose *displayed* price already includes shipping;
+    #: their checkout shipping line is zero.
+    bundled_display: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.domestic < 0 or self.international < 0:
+            raise ValueError("shipping costs must be non-negative")
+        if self.free_threshold is not None and self.free_threshold < 0:
+            raise ValueError("free_threshold must be non-negative")
+
+    def cost(self, destination: str, home: str, item_price_usd: float) -> float:
+        """The shipping line for one item to ``destination``."""
+        if destination.upper() in self.bundled_display:
+            return 0.0
+        if self.free_threshold is not None and item_price_usd >= self.free_threshold:
+            return 0.0
+        if destination.upper() == home.upper():
+            return self.domestic
+        return self.international
+
+
+@dataclass(frozen=True)
+class CheckoutQuote:
+    """One itemized checkout quote, in one currency."""
+
+    item: float
+    shipping: float
+    tax: float
+    currency: str
+
+    @property
+    def total(self) -> float:
+        return round(self.item + self.shipping + self.tax, 2)
+
+    def __post_init__(self) -> None:
+        if self.item < 0 or self.shipping < 0 or self.tax < 0:
+            raise ValueError("quote lines must be non-negative")

@@ -1,0 +1,207 @@
+"""Locale-specific price formatting and parsing.
+
+The paper names "diverse number and date formats across countries" as a
+primary noise source in the crowdsourced dataset (§3.2) and "pricing format
+differences" as a challenge (§2.2).  This module is both sides of that coin:
+
+* retailers *format* prices for the visitor's locale
+  (``$1,234.56`` / ``1.234,56 €`` / ``1 234,56 €`` / ``R$ 1.234,56``),
+* $heriff's extraction stage *parses* price strings back into numbers
+  without knowing the locale a priori, resolving the classic
+  ``1.234`` ambiguity (one-point-two-three-four or twelve-hundred?) with
+  explicit, testable rules.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fx.currencies import CURRENCIES, Currency, currency_for_country
+
+__all__ = [
+    "Locale",
+    "LOCALES",
+    "locale_for_country",
+    "format_price",
+    "parse_price",
+    "ParsedPrice",
+    "PriceFormatError",
+]
+
+
+class PriceFormatError(ValueError):
+    """Raised when a string cannot be understood as a price."""
+
+
+@dataclass(frozen=True)
+class Locale:
+    """Number-format conventions of one market."""
+
+    code: str  # e.g. "en-US"
+    decimal_sep: str
+    group_sep: str
+    currency: Currency
+    symbol_before: bool
+    symbol_space: bool = False  # space between symbol and number
+
+    def format_amount(self, amount: float, *, decimals: int = 2) -> str:
+        """Format a bare number with this locale's separators."""
+        if amount < 0:
+            raise ValueError("prices are non-negative")
+        quantized = f"{amount:.{decimals}f}"
+        if decimals:
+            integer_part, fraction = quantized.split(".")
+        else:
+            integer_part, fraction = quantized, ""
+        groups: list[str] = []
+        while len(integer_part) > 3:
+            groups.insert(0, integer_part[-3:])
+            integer_part = integer_part[:-3]
+        groups.insert(0, integer_part)
+        body = self.group_sep.join(groups)
+        if fraction:
+            body = f"{body}{self.decimal_sep}{fraction}"
+        return body
+
+    def format_price(self, amount: float, *, decimals: int = 2) -> str:
+        """Format an amount with the locale's currency symbol."""
+        body = self.format_amount(amount, decimals=decimals)
+        space = " " if self.symbol_space else ""
+        if self.symbol_before:
+            return f"{self.currency.symbol}{space}{body}"
+        return f"{body}{space}{self.currency.symbol}"
+
+
+#: country code -> locale.  Separator conventions follow CLDR.
+LOCALES: dict[str, Locale] = {
+    "US": Locale("en-US", ".", ",", CURRENCIES["USD"], symbol_before=True),
+    "GB": Locale("en-GB", ".", ",", CURRENCIES["GBP"], symbol_before=True),
+    "CA": Locale("en-CA", ".", ",", CURRENCIES["CAD"], symbol_before=True),
+    "AU": Locale("en-AU", ".", ",", CURRENCIES["AUD"], symbol_before=True),
+    "IE": Locale("en-IE", ".", ",", CURRENCIES["EUR"], symbol_before=True),
+    "DE": Locale("de-DE", ",", ".", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "ES": Locale("es-ES", ",", ".", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "IT": Locale("it-IT", ",", ".", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "FR": Locale("fr-FR", ",", " ", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "BE": Locale("fr-BE", ",", ".", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "NL": Locale("nl-NL", ",", ".", CURRENCIES["EUR"], symbol_before=True, symbol_space=True),
+    "PT": Locale("pt-PT", ",", " ", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "GR": Locale("el-GR", ",", ".", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "FI": Locale("fi-FI", ",", " ", CURRENCIES["EUR"], symbol_before=False, symbol_space=True),
+    "BR": Locale("pt-BR", ",", ".", CURRENCIES["BRL"], symbol_before=True, symbol_space=True),
+    "PL": Locale("pl-PL", ",", " ", CURRENCIES["PLN"], symbol_before=False, symbol_space=True),
+    "SE": Locale("sv-SE", ",", " ", CURRENCIES["SEK"], symbol_before=False, symbol_space=True),
+    "CH": Locale("de-CH", ".", "'", CURRENCIES["CHF"], symbol_before=True, symbol_space=True),
+    "JP": Locale("ja-JP", ".", ",", CURRENCIES["JPY"], symbol_before=True),
+    "IN": Locale("en-IN", ".", ",", CURRENCIES["INR"], symbol_before=True),
+}
+
+
+def locale_for_country(country_code: str) -> Locale:
+    """The display locale of ``country_code`` (defaults to en-US)."""
+    return LOCALES.get(country_code.upper(), LOCALES["US"])
+
+
+def format_price(amount: float, country_code: str, *, decimals: int = 2) -> str:
+    """Format ``amount`` the way a retailer localizes for ``country_code``."""
+    return locale_for_country(country_code).format_price(amount, decimals=decimals)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParsedPrice:
+    """The result of parsing a displayed price string."""
+
+    amount: float
+    currency: Optional[str]  # ISO code, or None when no symbol present
+    raw: str
+
+
+_SYMBOL_TO_CODE: dict[str, str] = {}
+for _currency in CURRENCIES.values():
+    _SYMBOL_TO_CODE.setdefault(_currency.symbol, _currency.code)
+# Longest symbols first so "R$" wins over "$".
+_SYMBOLS_BY_LENGTH = sorted(_SYMBOL_TO_CODE, key=len, reverse=True)
+
+_NUMBER_RE = re.compile(r"\d[\d  .,' ]*\d|\d")
+
+
+def parse_price(text: str, *, locale_hint: Optional[Locale] = None) -> ParsedPrice:
+    """Parse a displayed price like ``"1.234,56 €"`` into a number.
+
+    Rules (documented because they *are* the noise model):
+
+    1. A currency symbol or ISO code anywhere in the string fixes the
+       currency; otherwise currency is ``None`` and the caller must use
+       page context.
+    2. The number is the first digit run; separators are classified as
+       decimal or grouping:
+       - if both ``.`` and ``,`` occur, the *last* one is the decimal mark;
+       - a single separator followed by exactly 2 digits at the end is the
+         decimal mark, unless the hinted locale says it groups with it and
+         the digits before it group evenly by thousands **and** the value
+         would be implausibly small otherwise -- we resolve the tie in
+         favour of the decimal reading, which is overwhelmingly more common
+         in price displays;
+       - a single separator followed by exactly 3 digits is grouping
+         (``1.234`` -> 1234) unless the hinted locale uses it as decimal
+         *and* the integer part is 0 (``0,999`` -> 0.999 never happens in
+         prices, so this stays grouping);
+       - spaces and apostrophes always group.
+    3. Yen and other zero-decimal displays parse as integers.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise PriceFormatError("empty price string")
+    raw = text.strip()
+
+    currency = _detect_currency(raw)
+    match = _NUMBER_RE.search(raw.replace(" ", " "))
+    if match is None:
+        raise PriceFormatError(f"no number in price string {raw!r}")
+    number = match.group(0).replace(" ", "").replace(" ", "").replace("'", "")
+    amount = _interpret_number(number, locale_hint)
+    if amount < 0:
+        raise PriceFormatError(f"negative price in {raw!r}")
+    return ParsedPrice(amount=amount, currency=currency, raw=raw)
+
+
+def _detect_currency(text: str) -> Optional[str]:
+    upper = text.upper()
+    for code in CURRENCIES:
+        if re.search(rf"\b{code}\b", upper):
+            return code
+    for symbol in _SYMBOLS_BY_LENGTH:
+        if symbol in text:
+            return _SYMBOL_TO_CODE[symbol]
+    return None
+
+
+def _interpret_number(number: str, locale_hint: Optional[Locale]) -> float:
+    has_dot = "." in number
+    has_comma = "," in number
+    if has_dot and has_comma:
+        # Both present: the later one is the decimal mark.
+        if number.rfind(".") > number.rfind(","):
+            return float(number.replace(",", ""))
+        return float(number.replace(".", "").replace(",", "."))
+    if not has_dot and not has_comma:
+        return float(number)
+    sep = "." if has_dot else ","
+    head, _, tail = number.rpartition(sep)
+    if number.count(sep) > 1:
+        # Multiple same separators can only be grouping: 1.234.567
+        return float(number.replace(sep, ""))
+    if len(tail) == 3:
+        # "1.234" / "1,234": grouping by overwhelming convention...
+        if locale_hint is not None and locale_hint.decimal_sep == sep and head == "0":
+            # ...except a hinted decimal with zero integer part ("0,999").
+            return float(f"{head}.{tail}")
+        return float(number.replace(sep, ""))
+    if len(tail) == 2 or len(tail) == 1:
+        return float(f"{head or '0'}.{tail}")
+    # len(tail) == 0 ("12.") or > 3 ("1.2345"): treat as decimal mark.
+    return float(f"{head or '0'}.{tail or '0'}")

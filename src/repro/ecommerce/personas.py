@@ -1,0 +1,133 @@
+"""Personas and login accounts for the personal-information experiments.
+
+§4.4 of the paper runs two experiments:
+
+1. **Personas** -- following the authors' earlier methodology, an
+   *affluent* and a *budget-conscious* persona are "trained" by browsing
+   characteristic sites (accumulating cookies), then prices are checked
+   from a fixed location at a fixed time.  The paper finds **no**
+   differences; our retailers likewise ignore persona cookies, and the
+   experiment demonstrates the null result end to end.
+
+2. **Login accounts** -- Kindle ebook prices on amazon.com differ between
+   three logged-in users and the logged-out state, with "little correlation
+   to being logged in or not".  :func:`login` drives the retailer's toy
+   ``/login`` route so the auth cookie flows through the normal HTTP path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.net.http import HttpRequest, HttpResponse, SetCookie
+from repro.net.transport import Network
+from repro.net.urls import URL
+from repro.net.vantage import VantagePoint
+
+__all__ = [
+    "Persona",
+    "AFFLUENT",
+    "BUDGET",
+    "PersonaTrainingSite",
+    "train_persona",
+    "login",
+    "logout",
+]
+
+
+@dataclass(frozen=True)
+class Persona:
+    """A browsing profile to be trained into a client's cookie jar."""
+
+    name: str
+    training_sites: tuple[str, ...]
+    interest_tag: str
+
+
+#: The two personas of the paper (and of the authors' earlier study).
+AFFLUENT = Persona(
+    name="affluent",
+    training_sites=(
+        "www.luxuryestates-blog.com",
+        "www.primewatches-review.com",
+        "www.firstclass-travelmag.com",
+    ),
+    interest_tag="luxury",
+)
+
+BUDGET = Persona(
+    name="budget",
+    training_sites=(
+        "www.coupondigest.com",
+        "www.frugal-living-tips.com",
+        "www.discount-radar.com",
+    ),
+    interest_tag="bargain",
+)
+
+
+class PersonaTrainingSite:
+    """A content site that tags visitors with an interest cookie.
+
+    This is the tracking half of the persona mechanism: visiting the site
+    plants ``interest=<tag>`` (plus a visit counter), exactly the signal a
+    discriminating retailer *could* read -- and, per the paper's §4.4
+    finding, does not.
+    """
+
+    def __init__(self, domain: str, interest_tag: str) -> None:
+        self.domain = domain
+        self.interest_tag = interest_tag
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve the content page and plant the interest/visit cookies."""
+        visits = int(request.cookies.get("visits", "0")) + 1
+        body = (
+            f"<html><head><title>{self.domain}</title></head>"
+            f"<body><h1>{self.domain}</h1>"
+            f"<p>Editorial content about {self.interest_tag} topics.</p>"
+            f"</body></html>"
+        )
+        response = HttpResponse.html(body)
+        response.headers.add(
+            "Set-Cookie", SetCookie("interest", self.interest_tag).to_header()
+        )
+        response.headers.add(
+            "Set-Cookie", SetCookie("visits", str(visits)).to_header()
+        )
+        return response
+
+
+def train_persona(
+    vantage: VantagePoint,
+    persona: Persona,
+    network: Network,
+    *,
+    rounds: int = 3,
+) -> int:
+    """Browse the persona's sites ``rounds`` times; returns page count.
+
+    After training, the vantage point's cookie jar carries the persona's
+    interest cookies, which every subsequent retailer request will present.
+    """
+    fetched = 0
+    for _ in range(rounds):
+        for domain in persona.training_sites:
+            vantage.fetch(network, f"http://{domain}/")
+            fetched += 1
+    return fetched
+
+
+def login(vantage: VantagePoint, network: Network, domain: str, user: str) -> None:
+    """Log ``vantage`` into ``domain`` as ``user`` via the /login route."""
+    response = vantage.fetch(network, f"http://{domain}/login?user={user}")
+    if not response.ok:
+        raise RuntimeError(f"login to {domain} as {user!r} failed: {response.status}")
+    if vantage.jar.get(domain, "auth") != user:
+        raise RuntimeError(f"{domain} did not set the auth cookie for {user!r}")
+
+
+def logout(vantage: VantagePoint, domain: str) -> None:
+    """Drop the auth session for ``domain``."""
+    vantage.jar.clear(domain)

@@ -1,0 +1,418 @@
+"""Pricing policies: the behaviours the paper observes, as code.
+
+A retailer owns one :class:`PricingPolicy`; given a :class:`Product` and a
+:class:`PricingContext` (who is asking, from where, when, with what cookies)
+it returns the price **in USD** that the retailer intends to charge.  The
+retailer server then converts to the visitor's display currency.
+
+The policy zoo maps one-to-one onto the paper's findings:
+
+===========================  =====================================================
+Paper observation            Policy
+===========================  =====================================================
+"price variations between    :class:`GeoMultiplicative` -- parallel horizontal
+locations is multiplicative" lines in Fig. 6(a)
+(digitalrev)
+
+"prices vary by an additive  :class:`GeoAdditive` -- the converging lines of
+term" (energie, one           Fig. 6(b); also the ×3 ratios on cheap products
+location)                     in Fig. 5
+
+"mix of multiplicative and   :class:`CategoryDispatch` / summing both kinds
+additive pricing"
+
+expensive products capped    :class:`DampedGeoMultiplicative` -- spread decays
+below ×1.5 (Fig. 5)           above a price knee
+
+per-US-city differences,     :class:`CityMultiplicative` with per-product noise
+incl. mixed pairs (Fig. 8a)   for "mixed" cities
+
+Kindle prices differing per  :class:`IdentityKeyed` -- price points chosen by a
+user with *no* login          hash of (product, identity), where identity is the
+correlation (Fig. 10)         login id **or** the anonymous session
+
+A/B testing as noise (§2.2)  :class:`ABTestNoise` wrapper
+
+availability/demand drift    :class:`TemporalDrift` wrapper
+over time (§2.2)
+===========================  =====================================================
+
+All draws are keyed by :func:`repro.util.stable_hash`, so the same world
+seed reproduces the same prices in any process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Protocol, Sequence
+
+from repro.ecommerce.catalog import Product
+from repro.util import stable_hash, stable_uniform
+
+__all__ = [
+    "PricingContext",
+    "PricingPolicy",
+    "UniformPricing",
+    "GeoMultiplicative",
+    "DampedGeoMultiplicative",
+    "GeoAdditive",
+    "GeoMultiplyAdd",
+    "CityMultiplicative",
+    "CategoryDispatch",
+    "IdentityKeyed",
+    "ReferrerDiscount",
+    "ABTestNoise",
+    "TemporalDrift",
+    "coverage_includes",
+]
+
+
+@dataclass(frozen=True)
+class PricingContext:
+    """Everything a server-side pricing engine can key on for one request.
+
+    ``identity`` is the logged-in account id when present, otherwise an
+    anonymous session identifier (cookie-derived); ``nonce`` is unique per
+    request and only used by A/B noise.
+    """
+
+    country_code: str
+    city: str = ""
+    day_index: int = 0
+    seconds: float = 0.0
+    identity: Optional[str] = None
+    logged_in: bool = False
+    referer: Optional[str] = None
+    browser: str = ""
+    nonce: int = 0
+
+    def with_identity(self, identity: str, *, logged_in: bool) -> "PricingContext":
+        """A copy of this context as seen for a (logged-in) identity."""
+        return replace(self, identity=identity, logged_in=logged_in)
+
+
+class PricingPolicy(Protocol):
+    """The server-side pricing interface."""
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price of ``product`` for the requester in ``ctx``."""
+        ...  # pragma: no cover
+
+
+def coverage_includes(product: Product, coverage: float, seed: int) -> bool:
+    """Deterministically decide if ``product`` is subject to a policy.
+
+    The paper's Fig. 3 measures, per retailer, the *fraction of requests*
+    that exhibit variation; retailers where only some products are
+    dynamically priced land below 100%.  Coverage is a per-product coin
+    flip keyed on (seed, sku) so it is stable across days and locations.
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError("coverage must be in [0, 1]")
+    if coverage >= 1.0:
+        return True
+    if coverage <= 0.0:
+        return False
+    return stable_hash(seed, product.sku, "coverage") / 2**64 < coverage
+
+
+@dataclass(frozen=True)
+class UniformPricing:
+    """The honest baseline: same price for everyone, everywhere."""
+
+    margin: float = 1.0
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        return product.base_price_usd * self.margin
+
+
+@dataclass(frozen=True)
+class GeoMultiplicative:
+    """Per-country multiplicative pricing (Fig. 6(a) behaviour).
+
+    ``table`` maps ISO country codes to multipliers; countries absent from
+    the table pay ``default``.  ``coverage`` < 1 exempts a per-product
+    deterministic subset entirely.
+    """
+
+    table: Mapping[str, float]
+    default: float = 1.0
+    coverage: float = 1.0
+    seed: int = 0
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        if not coverage_includes(product, self.coverage, self.seed):
+            return product.base_price_usd
+        multiplier = self.table.get(ctx.country_code.upper(), self.default)
+        return product.base_price_usd * multiplier
+
+
+@dataclass(frozen=True)
+class DampedGeoMultiplicative:
+    """Geo multipliers whose spread shrinks for expensive products.
+
+    Fig. 5 shows the priciest products (several $K) never vary by more than
+    ×1.5 while mid-range items reach ×2.  Real-world explanation: a 40%
+    margin on a $4,000 handbag is competitively untenable.  The damping
+    interpolates each multiplier toward 1.0 as the base price crosses
+    ``knee`` → ``ceiling``: at or below the knee the full multiplier
+    applies; above the ceiling only ``floor_fraction`` of the (multiplier-1)
+    spread remains.
+    """
+
+    table: Mapping[str, float]
+    default: float = 1.0
+    knee: float = 1200.0
+    ceiling: float = 3000.0
+    floor_fraction: float = 0.5
+    coverage: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.knee < self.ceiling:
+            raise ValueError("need 0 < knee < ceiling")
+        if not 0.0 <= self.floor_fraction <= 1.0:
+            raise ValueError("floor_fraction must be in [0, 1]")
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        if not coverage_includes(product, self.coverage, self.seed):
+            return product.base_price_usd
+        multiplier = self.table.get(ctx.country_code.upper(), self.default)
+        base = product.base_price_usd
+        if base <= self.knee:
+            damp = 1.0
+        elif base >= self.ceiling:
+            damp = self.floor_fraction
+        else:
+            span = (base - self.knee) / (self.ceiling - self.knee)
+            damp = 1.0 - span * (1.0 - self.floor_fraction)
+        effective = 1.0 + (multiplier - 1.0) * damp
+        return base * effective
+
+
+@dataclass(frozen=True)
+class GeoAdditive:
+    """Per-country additive surcharges in USD (Fig. 6(b) behaviour).
+
+    An $18 surcharge triples a $9 supplement but vanishes into a $500
+    item -- exactly the converging-lines shape of Fig. 6(b) and the high
+    ratios at the cheap end of Fig. 5.
+
+    ``per_product_scale`` multiplies the surcharge by a deterministic
+    per-product factor drawn uniformly from the given range -- modeling
+    shipping-included pricing where the surcharge tracks item weight, not
+    price.  A heavy-but-cheap item then shows the ×3 extremes of Fig. 5
+    while the retailer's *median* ratio stays modest (Fig. 4).
+    """
+
+    table: Mapping[str, float]
+    default: float = 0.0
+    coverage: float = 1.0
+    seed: int = 0
+    per_product_scale: Optional[tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.per_product_scale is not None:
+            low, high = self.per_product_scale
+            if not 0 <= low <= high:
+                raise ValueError("per_product_scale must satisfy 0 <= low <= high")
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        if not coverage_includes(product, self.coverage, self.seed):
+            return product.base_price_usd
+        surcharge = self.table.get(ctx.country_code.upper(), self.default)
+        if self.per_product_scale is not None and surcharge:
+            low, high = self.per_product_scale
+            surcharge *= stable_uniform(low, high, self.seed, product.sku, "weight")
+        return product.base_price_usd + surcharge
+
+
+@dataclass(frozen=True)
+class GeoMultiplyAdd:
+    """Combined multiplicative and additive geo pricing.
+
+    ``price = base * mult_table[country] + add_table[country]`` -- the
+    "mix of multiplicative and additive pricing across our vantage points"
+    the paper reports for several retailers (and the exact generator behind
+    Fig. 6(b): most countries multiplicative, one paying a flat surcharge).
+    """
+
+    mult_table: Mapping[str, float] = field(default_factory=dict)
+    add_table: Mapping[str, float] = field(default_factory=dict)
+    mult_default: float = 1.0
+    add_default: float = 0.0
+    coverage: float = 1.0
+    seed: int = 0
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        if not coverage_includes(product, self.coverage, self.seed):
+            return product.base_price_usd
+        country = ctx.country_code.upper()
+        multiplier = self.mult_table.get(country, self.mult_default)
+        surcharge = self.add_table.get(country, self.add_default)
+        return product.base_price_usd * multiplier + surcharge
+
+
+@dataclass(frozen=True)
+class CityMultiplicative:
+    """Per-city multipliers inside one country (Fig. 8(a) behaviour).
+
+    ``noisy_cities`` get an extra per-(product, city) factor in
+    ``1 ± noise_amplitude``: against a flat city this produces the "mixed"
+    scatter of Fig. 8(a)'s Boston-Lincoln panel, where one location is
+    cheaper for some products and dearer for others.
+    """
+
+    table: Mapping[str, float]
+    default: float = 1.0
+    noisy_cities: frozenset[str] = frozenset()
+    noise_amplitude: float = 0.0
+    coverage: float = 1.0
+    seed: int = 0
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        if not coverage_includes(product, self.coverage, self.seed):
+            return product.base_price_usd
+        multiplier = self.table.get(ctx.city, self.default)
+        if ctx.city in self.noisy_cities and self.noise_amplitude > 0:
+            multiplier *= 1.0 + stable_uniform(
+                -self.noise_amplitude,
+                self.noise_amplitude,
+                self.seed,
+                product.sku,
+                ctx.city,
+                "city-noise",
+            )
+        return product.base_price_usd * multiplier
+
+
+@dataclass(frozen=True)
+class CategoryDispatch:
+    """Route to a different policy per product category.
+
+    Amazon in the paper is flat across US cities, varies across countries,
+    and shows identity-keyed Kindle ebook prices -- three behaviours on one
+    domain, expressed here as a dispatch table.
+    """
+
+    routes: Mapping[str, PricingPolicy]
+    default: PricingPolicy
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        policy = self.routes.get(product.category, self.default)
+        return policy.price(product, ctx)
+
+
+@dataclass(frozen=True)
+class IdentityKeyed:
+    """Price points selected by a hash of (product, requester identity).
+
+    Models the Kindle observation of Fig. 10: prices differ between users
+    *and* the logged-out state, with no systematic logged-in premium --
+    every identity (including "anonymous from vantage X") simply hashes to
+    one of ``len(multipliers)`` price points.
+    """
+
+    multipliers: Sequence[float] = (0.85, 1.0, 1.12)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.multipliers:
+            raise ValueError("need at least one price point")
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        identity = ctx.identity or "anonymous"
+        index = stable_hash(self.seed, product.sku, identity) % len(self.multipliers)
+        return product.base_price_usd * self.multipliers[index]
+
+
+@dataclass(frozen=True)
+class ReferrerDiscount:
+    """Referrer-dependent pricing (the authors' HotNets'12 finding).
+
+    Visitors arriving from a price-aggregator referrer get a discount --
+    "search discrimination".  This is invisible to $heriff's fan-out (the
+    backend requests the bare URI without the user's Referer header), so a
+    referred user's own price disagrees with every vantage point's; the
+    cleaning stage detects exactly that mismatch.
+    """
+
+    inner: PricingPolicy
+    referer_substring: str = "pricegrabber"
+    discount: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.discount < 1.0:
+            raise ValueError("discount must be in [0, 1)")
+        if not self.referer_substring:
+            raise ValueError("referer_substring must be non-empty")
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        base = self.inner.price(product, ctx)
+        if ctx.referer and self.referer_substring in ctx.referer:
+            return base * (1.0 - self.discount)
+        return base
+
+
+@dataclass(frozen=True)
+class ABTestNoise:
+    """Per-request A/B experiment noise around an inner policy.
+
+    A fraction of requests lands in a treatment bucket whose price is
+    scaled by ``1 + amplitude``.  Keyed on the request nonce, so repeated
+    measurements see different buckets -- which is precisely why the
+    paper's methodology repeats measurements to wash this out.
+    """
+
+    inner: PricingPolicy
+    amplitude: float = 0.05
+    fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        base = self.inner.price(product, ctx)
+        if self.fraction <= 0.0 or self.amplitude == 0.0:
+            return base
+        draw = stable_hash(self.seed, ctx.nonce, product.sku, "ab") / 2**64
+        if draw < self.fraction:
+            return base * (1.0 + self.amplitude)
+        return base
+
+
+@dataclass(frozen=True)
+class TemporalDrift:
+    """Day-to-day repricing around an inner policy.
+
+    Every (product, day) gets a deterministic factor in ``1 ± amplitude``.
+    Synchronized same-instant fan-outs are immune (all vantage points see
+    the same day); naive cross-day comparisons are not -- the ablation
+    benchmark quantifies exactly that.
+    """
+
+    inner: PricingPolicy
+    amplitude: float = 0.03
+    seed: int = 0
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        base = self.inner.price(product, ctx)
+        if self.amplitude <= 0:
+            return base
+        factor = 1.0 + stable_uniform(
+            -self.amplitude, self.amplitude, self.seed, product.sku, ctx.day_index, "drift"
+        )
+        return base * factor

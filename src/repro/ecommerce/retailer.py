@@ -1,0 +1,271 @@
+"""Retailer web servers.
+
+A :class:`Retailer` is configuration (domain, catalog, pricing policy,
+template, localization behaviour); a :class:`RetailerServer` wraps it into
+a :class:`repro.net.transport.Server` that renders product pages per
+request.  The request path a server implements:
+
+1. geo-locate the client IP against the shared geo-IP database (the exact
+   mechanism the paper credits for localized prices),
+2. choose display locale/currency: geo-localizing retailers use the
+   visitor's country; others always use their home locale,
+3. build a :class:`~repro.ecommerce.pricing.PricingContext` from the
+   request (country, city, day, login cookie, session cookie, nonce),
+4. ask the pricing policy for the USD price, convert to the display
+   currency at the day's mid market rate, round like a shop does,
+5. render the retailer's template -- with localized decoy prices on the
+   recommended products -- and serialize to HTML.
+
+Routes: ``/`` (catalog index), product paths, ``/login`` (toy login that
+sets an auth cookie), anything else 404.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ecommerce.catalog import Catalog, Product
+from repro.ecommerce.checkout import ShippingPolicy, vat_rate
+from repro.ecommerce.localization import Locale, locale_for_country
+from repro.ecommerce.pricing import PricingContext, PricingPolicy
+from repro.ecommerce.templates import (
+    PageTemplate,
+    ProductView,
+    render_checkout_page,
+    render_index_page,
+)
+from repro.ecommerce.thirdparty import ThirdParty
+from repro.fx.rates import RateService
+from repro.htmlmodel.serialize import to_html
+from repro.net.clock import SECONDS_PER_DAY
+from repro.net.geoip import GeoIPDatabase, GeoLocation
+from repro.net.http import HttpRequest, HttpResponse, HttpStatus, SetCookie
+from repro.util import stable_hash, stable_rng
+
+__all__ = ["Retailer", "RetailerServer"]
+
+_INDEX_LISTING_CAP = 250
+
+
+@dataclass(frozen=True)
+class Retailer:
+    """Static configuration of one shop."""
+
+    domain: str
+    name: str
+    category: str
+    catalog: Catalog
+    policy: PricingPolicy
+    template: PageTemplate
+    trackers: tuple[ThirdParty, ...] = ()
+    #: Geo-localize display currency?  (Most of the paper's retailers do;
+    #: a few always price in their home currency.)
+    localizes_currency: bool = True
+    #: Locale used when not geo-localizing (and for unknown client IPs).
+    home_country: str = "US"
+    #: Supports login accounts (the amazon.com Kindle experiment).
+    supports_login: bool = False
+    #: Shipping table quoted at checkout (displayed prices exclude it,
+    #: per the paper's §2.2 observation).
+    shipping: ShippingPolicy = field(default_factory=ShippingPolicy)
+
+    def __post_init__(self) -> None:
+        if not self.domain or "/" in self.domain:
+            raise ValueError(f"bad domain {self.domain!r}")
+
+
+class RetailerServer:
+    """HTTP-facing wrapper that prices and renders per request."""
+
+    def __init__(
+        self,
+        retailer: Retailer,
+        *,
+        geoip: GeoIPDatabase,
+        rates: RateService,
+        seed: int = 0,
+    ) -> None:
+        self.retailer = retailer
+        self._geoip = geoip
+        self._rates = rates
+        self._seed = seed
+        self._request_count = 0
+
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Route one request."""
+        self._request_count += 1
+        path = request.url.path
+        if path == "/":
+            return self._index(request)
+        if path == "/login":
+            return self._login(request)
+        if path.startswith("/checkout/"):
+            return self._checkout(request, path.removeprefix("/checkout/"))
+        product = self.retailer.catalog.by_path(path)
+        if product is not None:
+            return self._product_page(request, product)
+        return HttpResponse.not_found(f"no such page on {self.retailer.domain}")
+
+    # ------------------------------------------------------------------
+    # Localization plumbing
+    # ------------------------------------------------------------------
+    def _client_location(self, request: HttpRequest) -> GeoLocation:
+        location = self._geoip.lookup(request.client_ip)
+        if location is None:
+            return GeoLocation(
+                self.retailer.home_country, self.retailer.home_country, ""
+            )
+        return location
+
+    def _display_locale(self, location: GeoLocation) -> Locale:
+        if self.retailer.localizes_currency:
+            return locale_for_country(location.country_code)
+        return locale_for_country(self.retailer.home_country)
+
+    def _display_amount(self, usd: float, locale: Locale, day_index: int) -> float:
+        """Convert a USD price into the display currency at the day's mid."""
+        code = locale.currency.code
+        if code == "USD":
+            return round(usd, 2)
+        rate = self._rates.rate(code, day_index)
+        local = usd / rate.mid
+        decimals = 0 if code == "JPY" else 2
+        return round(local, decimals)
+
+    # ------------------------------------------------------------------
+    # Pages
+    # ------------------------------------------------------------------
+    def _pricing_context(
+        self, request: HttpRequest, location: GeoLocation
+    ) -> PricingContext:
+        cookies = request.cookies
+        user = cookies.get("auth") if self.retailer.supports_login else None
+        session = cookies.get("session")
+        identity = user if user else (f"anon:{session}" if session else None)
+        return PricingContext(
+            country_code=location.country_code,
+            city=location.city,
+            day_index=int(request.timestamp // SECONDS_PER_DAY),
+            seconds=request.timestamp,
+            identity=identity,
+            logged_in=user is not None,
+            referer=request.referer,
+            browser=request.user_agent,
+            nonce=stable_hash(
+                self._seed, self.retailer.domain, request.client_ip,
+                request.timestamp, self._request_count,
+            ),
+        )
+
+    def _product_page(self, request: HttpRequest, product: Product) -> HttpResponse:
+        location = self._client_location(request)
+        locale = self._display_locale(location)
+        ctx = self._pricing_context(request, location)
+
+        usd = self.retailer.policy.price(product, ctx)
+        amount = self._display_amount(usd, locale, ctx.day_index)
+        decimals = 0 if locale.currency.code == "JPY" else 2
+        price_text = locale.format_price(amount, decimals=decimals)
+
+        view = ProductView(
+            retailer_name=self.retailer.name,
+            domain=self.retailer.domain,
+            product=product,
+            price_text=price_text,
+            locale=locale,
+            recommended=self._recommended(product, ctx, locale),
+            trackers=self.retailer.trackers,
+            structural_seed=stable_hash(
+                self._seed, self.retailer.domain, product.sku, ctx.day_index
+            ),
+            logged_in_user=ctx.identity if ctx.logged_in else None,
+        )
+        html = to_html(self.retailer.template.render(view))
+        response = HttpResponse.html(html)
+        if "session" not in request.cookies:
+            session_id = f"s{stable_hash(self._seed, request.client_ip, request.timestamp) % 10**12}"
+            response.headers.add(
+                "Set-Cookie", SetCookie("session", session_id).to_header()
+            )
+        return response
+
+    def _recommended(
+        self, product: Product, ctx: PricingContext, locale: Locale
+    ) -> list[tuple[Product, str]]:
+        """4 decoy products with localized prices (extraction chaff)."""
+        catalog = self.retailer.catalog
+        if len(catalog) <= 1:
+            return []
+        rng = stable_rng(self._seed, self.retailer.domain, product.sku, "reco")
+        pool = [p for p in catalog if p.sku != product.sku]
+        picks = pool if len(pool) <= 4 else rng.sample(pool, 4)
+        out = []
+        decimals = 0 if locale.currency.code == "JPY" else 2
+        for pick in picks:
+            usd = self.retailer.policy.price(pick, ctx)
+            amount = self._display_amount(usd, locale, ctx.day_index)
+            out.append((pick, locale.format_price(amount, decimals=decimals)))
+        return out
+
+    def _index(self, request: HttpRequest) -> HttpResponse:
+        location = self._client_location(request)
+        locale = self._display_locale(location)
+        products = self.retailer.catalog.products[:_INDEX_LISTING_CAP]
+        html = to_html(
+            render_index_page(
+                self.retailer.name, self.retailer.domain, products, locale=locale
+            )
+        )
+        return HttpResponse.html(html)
+
+    def _checkout(self, request: HttpRequest, sku: str) -> HttpResponse:
+        """The itemized quote: displayed price + shipping + VAT."""
+        product = self.retailer.catalog.by_sku(sku)
+        if product is None:
+            return HttpResponse.not_found(f"unknown item {sku!r}")
+        location = self._client_location(request)
+        locale = self._display_locale(location)
+        ctx = self._pricing_context(request, location)
+
+        item_usd = self.retailer.policy.price(product, ctx)
+        shipping_usd = self.retailer.shipping.cost(
+            location.country_code, self.retailer.home_country, item_usd
+        )
+        tax_usd = item_usd * vat_rate(
+            self.retailer.home_country, location.country_code
+        )
+
+        decimals = 0 if locale.currency.code == "JPY" else 2
+        day = ctx.day_index
+
+        def render_amount(usd: float) -> str:
+            return locale.format_price(
+                self._display_amount(usd, locale, day), decimals=decimals
+            )
+
+        html = to_html(render_checkout_page(
+            self.retailer.name,
+            product,
+            item_text=render_amount(item_usd),
+            shipping_text=render_amount(shipping_usd),
+            tax_text=render_amount(tax_usd),
+            total_text=render_amount(item_usd + shipping_usd + tax_usd),
+            locale=locale,
+        ))
+        return HttpResponse.html(html)
+
+    def _login(self, request: HttpRequest) -> HttpResponse:
+        """Toy login: ``GET /login?user=alice`` sets the auth cookie."""
+        if not self.retailer.supports_login:
+            return HttpResponse.not_found("this shop has no accounts")
+        user = request.url.query_param("user")
+        if not user:
+            return HttpResponse.html(
+                "<html><body><form action='/login'>"
+                "<input name='user'><input type='submit'></form></body></html>"
+            )
+        response = HttpResponse.redirect("/")
+        response.headers.add("Set-Cookie", SetCookie("auth", user).to_header())
+        return response

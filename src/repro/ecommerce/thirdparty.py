@@ -1,0 +1,61 @@
+"""Third-party trackers embedded in retailer pages.
+
+§4.4 of the paper surveys which third parties are present on the studied
+retailers -- they are the plumbing through which cross-site personal
+information could flow into pricing:
+
+    Google analytics 95%, DoubleClick 65%, Facebook widgets 80%,
+    Pinterest 45%, Twitter 40%.
+
+Retailers deterministically embed a tracker set drawn with those
+probabilities; the analysis stage recovers the percentages by scanning the
+archived pages (not by reading this table), so the §4.4 numbers are a real
+measurement of the simulated web.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import stable_hash
+
+__all__ = ["ThirdParty", "TRACKER_CENSUS", "trackers_for_retailer"]
+
+
+@dataclass(frozen=True)
+class ThirdParty:
+    """One embeddable third-party service."""
+
+    name: str
+    domain: str
+    kind: str  # "analytics" | "ads" | "social"
+    adoption: float  # fraction of retailers embedding it (paper §4.4)
+
+    def script_url(self) -> str:
+        """The embed URL retailer pages reference for this service."""
+        return f"http://{self.domain}/embed.js"
+
+
+#: The census the paper reports, as ground-truth adoption probabilities.
+TRACKER_CENSUS: tuple[ThirdParty, ...] = (
+    ThirdParty("Google Analytics", "www.google-analytics.com", "analytics", 0.95),
+    ThirdParty("DoubleClick", "ad.doubleclick.net", "ads", 0.65),
+    ThirdParty("Facebook", "connect.facebook.net", "social", 0.80),
+    ThirdParty("Pinterest", "assets.pinterest.com", "social", 0.45),
+    ThirdParty("Twitter", "platform.twitter.com", "social", 0.40),
+)
+
+
+def trackers_for_retailer(domain: str, *, seed: int = 0) -> tuple[ThirdParty, ...]:
+    """The deterministic tracker set embedded by ``domain``.
+
+    Each tracker is an independent coin flip keyed on (seed, domain,
+    tracker), with the paper's adoption rate as the probability, so the
+    population-level frequencies converge to §4.4's numbers.
+    """
+    chosen = []
+    for tracker in TRACKER_CENSUS:
+        draw = stable_hash(seed, domain, tracker.domain, "adopt") / 2**64
+        if draw < tracker.adoption:
+            chosen.append(tracker)
+    return tuple(chosen)

@@ -1,0 +1,20 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each ``figNN_*`` module exposes ``run(ctx) -> FigureResult`` where ``ctx``
+is an :class:`~repro.experiments.context.ExperimentContext` holding the
+shared world, crowdsourced dataset and crawl.  ``repro.experiments.runner``
+executes everything and renders the paper-vs-measured report that feeds
+EXPERIMENTS.md.
+
+Scales (``REPRO_SCALE`` environment variable or explicit argument):
+
+* ``tiny``  -- smoke-test scale, seconds,
+* ``quick`` -- the default: every figure's shape is checkable, ~2 min,
+* ``paper`` -- the paper's full workload (1500 crowd checks, 21 retailers
+  x 100 products x 7 days x 14 vantage points, ~190K extracted prices).
+"""
+
+from repro.experiments.base import FigureResult
+from repro.experiments.context import ExperimentContext, ExperimentScale, get_context
+
+__all__ = ["ExperimentContext", "ExperimentScale", "FigureResult", "get_context"]

@@ -1,0 +1,75 @@
+"""Common result type for figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure/table in row form.
+
+    ``rows`` are ordered (label, value...) tuples mirroring the figure's
+    x-axis; ``checks`` are named boolean shape assertions ("who wins, by
+    roughly what factor, where crossovers fall"); ``paper_claim`` quotes
+    what the paper reports so EXPERIMENTS.md can juxtapose the two.
+    """
+
+    figure_id: str
+    title: str
+    paper_claim: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def add_row(self, *values: Any) -> None:
+        """Append one figure row; width-checked against ``columns``."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row width {len(values)} != {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def check(self, name: str, passed: bool) -> None:
+        """Record one named shape assertion."""
+        self.checks[name] = bool(passed)
+
+    # ------------------------------------------------------------------
+    def format_text(self, *, max_rows: int = 40) -> str:
+        """Render as a monospace block (the harness's 'figure')."""
+        out = [f"== {self.figure_id}: {self.title} =="]
+        out.append(f"paper: {self.paper_claim}")
+        widths = [
+            max(len(str(col)), *(len(_fmt(row[i])) for row in self.rows))
+            if self.rows
+            else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        out.append(header)
+        out.append("-" * len(header))
+        for row in self.rows[:max_rows]:
+            out.append(
+                "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths))
+            )
+        if len(self.rows) > max_rows:
+            out.append(f"... ({len(self.rows) - max_rows} more rows)")
+        for name, passed in self.checks.items():
+            out.append(f"[{'PASS' if passed else 'FAIL'}] {name}")
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

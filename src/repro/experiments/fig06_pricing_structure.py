@@ -1,0 +1,81 @@
+"""Fig. 6: ratio of price difference per product price for two retailers --
+multiplicative (digitalrev) vs additive-for-one-location (energie)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.products import VantageSeries, per_vantage_structure
+from repro.experiments.base import FigureResult
+from repro.experiments.context import ExperimentContext
+
+#: The vantage points the paper's legend shows.
+LEGEND = ("USA - New York", "UK - London", "Finland - Tampere")
+MULTIPLICATIVE_DOMAIN = "www.digitalrev.com"
+ADDITIVE_DOMAIN = "www.energie.it"
+
+
+def _loglinear_slope(series: VantageSeries) -> float:
+    """OLS slope of ratio against log10(price) -- 0 for a flat line."""
+    points = [(math.log10(p), r) for p, r in series.points if p > 0]
+    n = len(points)
+    if n < 2:
+        return 0.0
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    var_x = sum((x - mean_x) ** 2 for x, _ in points)
+    if var_x == 0:
+        return 0.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return cov / var_x
+
+
+def run(ctx: ExperimentContext) -> FigureResult:
+    """Regenerate Fig. 6's per-vantage line structure."""
+    result = FigureResult(
+        figure_id="FIG6",
+        title="Per-vantage ratio vs product price: multiplicative vs additive",
+        paper_claim=(
+            "digitalrev: parallel horizontal lines (multiplicative) across "
+            "the whole price range; energie: one location additive -- its "
+            "ratio decays towards the others as price grows past ~$100"
+        ),
+        columns=("domain", "vantage", "n", "median_ratio", "slope_vs_logprice"),
+    )
+    reports = ctx.crawl_clean.kept
+
+    slopes: dict[tuple[str, str], float] = {}
+    medians: dict[tuple[str, str], float] = {}
+    for domain in (MULTIPLICATIVE_DOMAIN, ADDITIVE_DOMAIN):
+        for series in per_vantage_structure(reports, domain, vantages=LEGEND):
+            slope = _loglinear_slope(series)
+            slopes[(domain, series.vantage)] = slope
+            medians[(domain, series.vantage)] = series.median_ratio()
+            result.add_row(
+                domain, series.vantage, len(series.points),
+                series.median_ratio(), slope,
+            )
+
+    # digitalrev: flat distinct levels NY < UK < FI.
+    dr = MULTIPLICATIVE_DOMAIN
+    result.check(
+        "digitalrev lines are flat (|slope| < 0.02 per decade)",
+        all(abs(slopes.get((dr, v), 1.0)) < 0.02 for v in LEGEND),
+    )
+    result.check(
+        "digitalrev levels ordered NY < UK < Finland",
+        medians.get((dr, LEGEND[0]), 9) < medians.get((dr, LEGEND[1]), 0)
+        < medians.get((dr, LEGEND[2]), 0),
+    )
+    # energie: the US line decays with price (additive), UK/FI stay flat.
+    en = ADDITIVE_DOMAIN
+    result.check(
+        "energie US line decays with price (slope < -0.03 per decade)",
+        slopes.get((en, "USA - New York"), 0.0) < -0.03,
+    )
+    result.check(
+        "energie UK/Finland lines flat",
+        all(abs(slopes.get((en, v), 1.0)) < 0.02
+            for v in ("UK - London", "Finland - Tampere")),
+    )
+    return result

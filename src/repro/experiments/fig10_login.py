@@ -1,0 +1,82 @@
+"""Fig. 10: the impact of login on Kindle ebook prices at amazon.com,
+plus the §4.4 persona null result."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.personal import login_experiment, persona_experiment
+from repro.experiments.base import FigureResult
+from repro.experiments.context import ExperimentContext
+
+
+def run(ctx: ExperimentContext) -> FigureResult:
+    """Regenerate Fig. 10 and the persona null result."""
+    result = FigureResult(
+        figure_id="FIG10",
+        title="Impact of login on Kindle ebook prices (amazon.com)",
+        paper_claim=(
+            "price variations for the same product across three logged-in "
+            "users and the logged-out state, with little correlation to "
+            "being logged in or not; personas (affluent vs budget) show no "
+            "differences at all"
+        ),
+        columns=("identity", "n_products", "mean_price", "times_cheapest"),
+    )
+    world = ctx.world
+    n_products = max(10, int(40 * ctx.scale.catalog_scale))
+    study = login_experiment(world, n_products=n_products, seed=ctx.seed)
+
+    cheapest_counts = {identity: 0 for identity in study.series}
+    for index in range(len(study.product_urls)):
+        prices = {
+            identity: values[index]
+            for identity, values in study.series.items()
+            if values[index] is not None
+        }
+        if not prices:
+            continue
+        low = min(prices.values())
+        for identity, price in prices.items():
+            if price == low:
+                cheapest_counts[identity] += 1
+
+    for identity, values in study.series.items():
+        present = [v for v in values if v is not None]
+        result.add_row(
+            identity, len(present), statistics.fmean(present),
+            cheapest_counts[identity],
+        )
+
+    differing = study.products_with_identity_differences()
+    result.check(
+        "a substantial share of ebooks price differently per identity",
+        differing >= 0.3 * len(study.product_urls),
+    )
+    means = {i: study.mean_price(i) for i in study.series}
+    anon = means["W/o login"]
+    logged = [v for k, v in means.items() if k != "W/o login"]
+    result.check(
+        "no systematic logged-in premium (anon mean inside user range +/-5%)",
+        min(logged) * 0.95 <= anon <= max(logged) * 1.05,
+    )
+    result.check(
+        "being logged out is not uniformly cheapest",
+        cheapest_counts["W/o login"] < len(study.product_urls),
+    )
+
+    # Persona null result (uses a subset of retailers to stay fast).
+    domains = ctx.world.crawled_domains[:6]
+    comparisons = persona_experiment(
+        world, domains=domains, products_per_domain=3, seed=ctx.seed
+    )
+    differing_personas = [c for c in comparisons if c.differs]
+    result.check(
+        "personas (affluent vs budget) show zero price differences",
+        not differing_personas,
+    )
+    result.notes.append(
+        f"{differing}/{len(study.product_urls)} ebooks differ across identities; "
+        f"{len(comparisons)} persona comparisons all equal"
+    )
+    return result

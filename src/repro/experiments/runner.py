@@ -1,0 +1,90 @@
+"""Run every figure experiment and render the paper-vs-measured report.
+
+Usage::
+
+    python -m repro.experiments.runner             # quick scale
+    REPRO_SCALE=paper python -m repro.experiments.runner
+
+The report text is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional
+
+from repro.experiments import (
+    fig01_crowd_domains,
+    fig02_crowd_magnitude,
+    fig03_crawl_extent,
+    fig04_crawl_magnitude,
+    fig05_ratio_vs_price,
+    fig06_pricing_structure,
+    fig07_locations,
+    fig08_pairwise_grids,
+    fig09_finland,
+    fig10_login,
+    tab_attribution,
+    tab_datasets,
+    tab_thirdparty,
+)
+from repro.experiments.base import FigureResult
+from repro.experiments.context import ExperimentContext, get_context
+
+__all__ = ["ALL_EXPERIMENTS", "run_all", "render_report"]
+
+ALL_EXPERIMENTS: tuple[tuple[str, Callable[[ExperimentContext], FigureResult]], ...] = (
+    ("fig01", fig01_crowd_domains.run),
+    ("fig02", fig02_crowd_magnitude.run),
+    ("fig03", fig03_crawl_extent.run),
+    ("fig04", fig04_crawl_magnitude.run),
+    ("fig05", fig05_ratio_vs_price.run),
+    ("fig06", fig06_pricing_structure.run),
+    ("fig07", fig07_locations.run),
+    ("fig08", fig08_pairwise_grids.run),
+    ("fig09", fig09_finland.run),
+    ("fig10", fig10_login.run),
+    ("tab_datasets", tab_datasets.run),
+    ("tab_thirdparty", tab_thirdparty.run),
+    ("tab_attribution", tab_attribution.run),
+)
+
+
+def run_all(ctx: Optional[ExperimentContext] = None) -> list[FigureResult]:
+    """Execute every experiment against one shared context."""
+    ctx = ctx or get_context()
+    return [run(ctx) for _, run in ALL_EXPERIMENTS]
+
+
+def render_report(results: list[FigureResult], *, scale: str = "quick") -> str:
+    """Assemble the full paper-vs-measured report text."""
+    lines = [
+        "Reproduction report: Crowd-assisted Search for Price Discrimination",
+        f"scale: {scale}",
+        "",
+    ]
+    for result in results:
+        lines.append(result.format_text())
+        lines.append("")
+    passed = sum(1 for r in results for ok in r.checks.values() if ok)
+    total = sum(len(r.checks) for r in results)
+    lines.append(f"shape checks: {passed}/{total} passed")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point: run everything at the requested scale and print."""
+    argv = argv if argv is not None else sys.argv[1:]
+    scale = argv[0] if argv else None
+    ctx = get_context(scale)
+    started = time.time()
+    results = run_all(ctx)
+    report = render_report(results, scale=ctx.scale.name)
+    print(report)
+    print(f"(wall time: {time.time() - started:.1f}s)")
+    return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""§3.2 dataset summary: paper numbers vs measured numbers."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import dataset_summary
+from repro.experiments.base import FigureResult
+from repro.experiments.context import ExperimentContext
+
+
+def run(ctx: ExperimentContext) -> FigureResult:
+    """Produce the §3.2 dataset-summary table."""
+    result = FigureResult(
+        figure_id="TAB-DATA",
+        title="Dataset summary (§3.2)",
+        paper_claim=(
+            "crowd: 1500 requests / 340 users / 18 countries / 600 domains; "
+            "crawl: 21 retailers x <=100 products, daily for a week, 188K prices"
+        ),
+        columns=("metric", "paper", "measured"),
+    )
+    summary = dataset_summary(ctx.crowd, ctx.crawl)
+    for metric, paper, measured in summary.rows():
+        result.add_row(metric, paper, measured)
+
+    measured = summary.measured
+    at_paper_scale = ctx.scale.name == "paper"
+    result.check(
+        "crowd countries == 18",
+        measured.get("crowd_countries", 0) == 18 or not at_paper_scale,
+    )
+    result.check(
+        "21 crawled retailers", measured.get("crawl_retailers", 0) == 21
+    )
+    if at_paper_scale:
+        result.check(
+            "crowd scale matches (1500 requests / 340 users / ~600 domains)",
+            measured.get("crowd_requests") == 1500
+            and measured.get("crowd_users", 0) >= 300
+            and measured.get("crowd_domains", 0) >= 500,
+        )
+        result.check(
+            "extracted prices at the paper's order of magnitude (~188K)",
+            140_000 <= measured.get("crawl_extracted_prices", 0) <= 230_000,
+        )
+        result.notes.append(
+            "we extract ~160K prices vs the paper's 188K: several simulated "
+            "niche retailers stock fewer than 100 products, so 'up to 100 "
+            "per retailer' yields fewer fetches than the authors' catalogs did"
+        )
+    else:
+        result.notes.append(
+            f"scale '{ctx.scale.name}' shrinks the workload; absolute counts "
+            f"are checked at scale 'paper' only"
+        )
+    return result

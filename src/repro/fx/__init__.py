@@ -1,0 +1,31 @@
+"""Foreign-exchange substrate.
+
+Retailers display prices in the visitor's local currency, so a naive
+comparison across vantage points would "discover" discrimination that is
+really just currency translation.  The paper's counter-measure (§2.2):
+
+    "We convert the prices obtained by the different vantage points for the
+    same product into US dollars using the daily lowest and highest exchange
+    rates.  We keep only products whose price variation is strictly greater
+    than the maximum gap that can exist given the two extreme exchange rates
+    in our dataset."
+
+This package provides the pieces: a currency registry, a deterministic
+daily rate series with intraday low/high around 2013 levels, conversion
+utilities, and the conservative max-gap guard used by the cleaning stage.
+"""
+
+from repro.fx.currencies import CURRENCIES, Currency, currency_for_country
+from repro.fx.rates import DailyRate, RateService
+from repro.fx.convert import Converter, ConversionError, max_gap_ratio
+
+__all__ = [
+    "CURRENCIES",
+    "ConversionError",
+    "Converter",
+    "Currency",
+    "DailyRate",
+    "RateService",
+    "currency_for_country",
+    "max_gap_ratio",
+]

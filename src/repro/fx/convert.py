@@ -1,0 +1,94 @@
+"""Currency conversion and the conservative max-gap guard.
+
+The guard implements the paper's rule exactly: a price variation observed
+across vantage points is only *trusted* if the max/min ratio strictly
+exceeds the largest ratio that pure currency translation could produce
+given the extreme exchange rates in the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.fx.currencies import CURRENCIES
+from repro.fx.rates import RateService
+
+__all__ = ["Converter", "ConversionError", "max_gap_ratio"]
+
+
+class ConversionError(ValueError):
+    """Raised for unknown currencies or non-positive amounts."""
+
+
+@dataclass(frozen=True)
+class Converter:
+    """Converts local-currency amounts to USD against a rate service."""
+
+    rates: RateService
+
+    def to_usd(
+        self,
+        amount: float,
+        currency: str,
+        day_index: int,
+        *,
+        bound: str = "mid",
+    ) -> float:
+        """Convert ``amount`` of ``currency`` to USD on ``day_index``.
+
+        ``bound`` selects which rate to use: ``"low"``, ``"mid"`` or
+        ``"high"`` -- the guard computation needs the extremes.
+        """
+        if amount < 0:
+            raise ConversionError(f"negative amount: {amount}")
+        code = currency.upper()
+        if code not in CURRENCIES:
+            raise ConversionError(f"unknown currency {currency!r}")
+        rate = self.rates.rate(code, day_index)
+        try:
+            factor = {"low": rate.low, "mid": rate.mid, "high": rate.high}[bound]
+        except KeyError:
+            raise ConversionError(f"bad bound {bound!r}") from None
+        return amount * factor
+
+    def usd_range(
+        self, amount: float, currency: str, day_index: int
+    ) -> tuple[float, float]:
+        """The (min, max) USD value of ``amount`` over the day's rate range."""
+        return (
+            self.to_usd(amount, currency, day_index, bound="low"),
+            self.to_usd(amount, currency, day_index, bound="high"),
+        )
+
+
+def max_gap_ratio(
+    rates: RateService,
+    currencies: Iterable[str],
+    day_indices: Iterable[int],
+    *,
+    margin: float = 0.0,
+) -> float:
+    """The largest price ratio pure currency translation can fake.
+
+    For each non-USD currency seen in the dataset, the worst case is a
+    price converted at the highest high on one day versus the lowest low on
+    another.  The guard threshold is the max of those ratios across all
+    currencies involved; observations must *strictly exceed* it (optionally
+    inflated by ``margin``) to count as price variation.
+
+    With only USD observations the ratio is exactly 1.0 -- any variation
+    at all survives the guard, as it should.
+    """
+    days = list(day_indices)
+    if not days:
+        raise ValueError("day_indices must be non-empty")
+    worst = 1.0
+    for currency in set(c.upper() for c in currencies):
+        if currency == "USD":
+            continue
+        if currency not in CURRENCIES:
+            raise ConversionError(f"unknown currency {currency!r}")
+        low, high = rates.extremes(currency, days)
+        worst = max(worst, high / low)
+    return worst * (1.0 + margin)

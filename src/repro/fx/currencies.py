@@ -1,0 +1,73 @@
+"""Currency registry and country→currency mapping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Currency", "CURRENCIES", "currency_for_country", "COUNTRY_CURRENCY"]
+
+
+@dataclass(frozen=True)
+class Currency:
+    """An ISO-4217-style currency with display metadata.
+
+    ``usd_mid_2013`` is the approximate USD value of one unit at the start
+    of 2013; the rate series random-walks around it.
+    """
+
+    code: str
+    symbol: str
+    name: str
+    usd_mid_2013: float
+    symbol_before: bool = True  # "$12.34" vs "12,34 €"
+
+    def __str__(self) -> str:
+        return self.code
+
+
+CURRENCIES: dict[str, Currency] = {
+    c.code: c
+    for c in (
+        Currency("USD", "$", "US dollar", 1.0),
+        Currency("EUR", "€", "euro", 1.32, symbol_before=False),
+        Currency("GBP", "£", "pound sterling", 1.58),
+        Currency("BRL", "R$", "Brazilian real", 0.49),
+        Currency("CAD", "C$", "Canadian dollar", 0.99),
+        Currency("AUD", "A$", "Australian dollar", 1.04),
+        Currency("JPY", "¥", "Japanese yen", 0.0115),
+        Currency("INR", "₹", "Indian rupee", 0.0184),
+        Currency("CHF", "Fr.", "Swiss franc", 1.07, symbol_before=False),
+        Currency("SEK", "kr", "Swedish krona", 0.154, symbol_before=False),
+        Currency("PLN", "zł", "Polish złoty", 0.32, symbol_before=False),
+    )
+}
+
+#: ISO country code -> currency code, for every country in the geo seed.
+COUNTRY_CURRENCY: dict[str, str] = {
+    "US": "USD",
+    "GB": "GBP",
+    "ES": "EUR",
+    "FI": "EUR",
+    "DE": "EUR",
+    "BE": "EUR",
+    "IT": "EUR",
+    "FR": "EUR",
+    "NL": "EUR",
+    "PT": "EUR",
+    "GR": "EUR",
+    "IE": "EUR",
+    "BR": "BRL",
+    "PL": "PLN",
+    "SE": "SEK",
+    "CH": "CHF",
+    "CA": "CAD",
+    "AU": "AUD",
+    "JP": "JPY",
+    "IN": "INR",
+}
+
+
+def currency_for_country(country_code: str) -> Currency:
+    """The local currency of ``country_code`` (defaults to USD)."""
+    code = COUNTRY_CURRENCY.get(country_code.upper(), "USD")
+    return CURRENCIES[code]

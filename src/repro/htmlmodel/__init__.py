@@ -1,0 +1,38 @@
+"""Minimal HTML document model: DOM tree, parser, selectors, serializer.
+
+The $heriff extension works by letting a user *highlight a price* inside a
+rendered retailer page, deriving a structural selector for the highlighted
+node, and then re-applying that selector to copies of the page fetched from
+other vantage points.  That loop needs a real document model, so this package
+implements one from scratch:
+
+* :mod:`repro.htmlmodel.dom` -- node classes and tree operations,
+* :mod:`repro.htmlmodel.parser` -- an HTML tokenizer and tree builder,
+* :mod:`repro.htmlmodel.selectors` -- a CSS-subset selector engine plus
+  structural node paths,
+* :mod:`repro.htmlmodel.serialize` -- DOM back to HTML text.
+
+The model is intentionally small but honest: void elements, attributes,
+comments, entity decoding, implied tag closing for the constructs our
+templates emit, and a selector grammar rich enough to express robust price
+anchors (``#price``, ``div.product-price > span.amount``, ``[itemprop=price]``).
+"""
+
+from repro.htmlmodel.dom import Document, Element, NodePath, Text
+from repro.htmlmodel.parser import HTMLParseError, parse_html
+from repro.htmlmodel.selectors import Selector, SelectorError, select, select_one
+from repro.htmlmodel.serialize import to_html
+
+__all__ = [
+    "Document",
+    "Element",
+    "HTMLParseError",
+    "NodePath",
+    "Selector",
+    "SelectorError",
+    "Text",
+    "parse_html",
+    "select",
+    "select_one",
+    "to_html",
+]

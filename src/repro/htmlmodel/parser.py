@@ -1,0 +1,290 @@
+"""HTML tokenizer and tree builder.
+
+A pragmatic, from-scratch parser covering the HTML our simulated retailers
+emit plus the mess real-world templates tend to contain:
+
+* start/end tags, attributes (quoted, unquoted, bare),
+* void elements (``<br>``, ``<img>`` ...) and XML-style self-closing tags,
+* comments and doctype declarations (skipped),
+* raw-text elements (``<script>``, ``<style>``) whose content is kept verbatim,
+* character/entity references (``&amp;`` ... ``&#8364;`` ... ``&#xA3;``),
+* implied closing of unclosed ``<p>`` and ``<li>`` and recovery from stray
+  end tags, so a slightly broken page still yields a usable tree rather than
+  an exception (crowd-sourced pages are not schema-validated).
+
+The interface is a single function :func:`parse_html` returning a
+:class:`~repro.htmlmodel.dom.Document`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.htmlmodel.dom import Document, Element, Text
+
+__all__ = ["parse_html", "HTMLParseError", "decode_entities"]
+
+
+class HTMLParseError(ValueError):
+    """Raised for inputs so malformed no recovery is possible."""
+
+
+#: Elements that never have children and need no end tag.
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+#: Elements whose raw text content is not tokenized further.
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+#: ``open -> openers that implicitly close it``: seeing a new <li> closes a
+#: currently open <li>; block starts close an open <p>.
+_IMPLIED_CLOSERS = {
+    "li": frozenset({"li"}),
+    "p": frozenset({"p", "div", "table", "ul", "ol", "section", "article",
+                    "header", "footer", "h1", "h2", "h3", "h4", "h5", "h6"}),
+    "option": frozenset({"option"}),
+    "tr": frozenset({"tr"}),
+    "td": frozenset({"td", "th", "tr"}),
+    "th": frozenset({"td", "th", "tr"}),
+}
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "euro": "€",
+    "pound": "£",
+    "yen": "¥",
+    "cent": "¢",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "mdash": "—",
+    "ndash": "–",
+    "hellip": "…",
+    "laquo": "«",
+    "raquo": "»",
+    "times": "×",
+    "middot": "·",
+    "bull": "•",
+}
+
+_ENTITY_RE = re.compile(r"&(#x?[0-9a-fA-F]+|[a-zA-Z][a-zA-Z0-9]*);")
+
+
+def decode_entities(text: str) -> str:
+    """Replace character references with the characters they denote.
+
+    Unknown named entities are left intact (browser-like leniency).
+    """
+
+    def _sub(match: re.Match[str]) -> str:
+        body = match.group(1)
+        if body.startswith("#"):
+            try:
+                if body[1:2] in ("x", "X"):
+                    code = int(body[2:], 16)
+                else:
+                    code = int(body[1:], 10)
+            except ValueError:
+                return match.group(0)
+            if 0 < code <= 0x10FFFF:
+                return chr(code)
+            return match.group(0)
+        return _NAMED_ENTITIES.get(body, _NAMED_ENTITIES.get(body.lower(), match.group(0)))
+
+    return _ENTITY_RE.sub(_sub, text)
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _StartTag:
+    name: str
+    attrs: dict[str, str]
+    self_closing: bool
+
+
+@dataclass(frozen=True)
+class _EndTag:
+    name: str
+
+
+@dataclass(frozen=True)
+class _TextToken:
+    data: str
+
+
+_Token = _StartTag | _EndTag | _TextToken
+
+_TAG_NAME_RE = re.compile(r"[a-zA-Z][a-zA-Z0-9:-]*")
+_ATTR_RE = re.compile(
+    r"""\s*([^\s=/>"']+)               # attribute name
+        (?:\s*=\s*
+            (?:"([^"]*)"               # double-quoted value
+              |'([^']*)'               # single-quoted value
+              |([^\s>]*)               # unquoted value
+            )
+        )?""",
+    re.VERBOSE,
+)
+
+
+class _Tokenizer:
+    """Streaming tokenizer over an HTML string."""
+
+    def __init__(self, html: str) -> None:
+        self.html = html
+        self.pos = 0
+        self.length = len(html)
+
+    def tokens(self) -> Iterator[_Token]:
+        while self.pos < self.length:
+            lt = self.html.find("<", self.pos)
+            if lt == -1:
+                yield _TextToken(self.html[self.pos :])
+                self.pos = self.length
+                return
+            if lt > self.pos:
+                yield _TextToken(self.html[self.pos : lt])
+                self.pos = lt
+            token = self._consume_markup()
+            if token is not None:
+                yield token
+                # Raw-text elements swallow everything up to their end tag.
+                if isinstance(token, _StartTag) and not token.self_closing \
+                        and token.name in RAW_TEXT_ELEMENTS:
+                    raw, end = self._consume_raw_text(token.name)
+                    if raw:
+                        yield _TextToken(raw)
+                    if end is not None:
+                        yield end
+
+    # ------------------------------------------------------------------
+    def _consume_markup(self) -> Optional[_Token]:
+        html, pos = self.html, self.pos
+        if html.startswith("<!--", pos):
+            end = html.find("-->", pos + 4)
+            self.pos = self.length if end == -1 else end + 3
+            return None
+        if html.startswith("<!", pos) or html.startswith("<?", pos):
+            end = html.find(">", pos)
+            self.pos = self.length if end == -1 else end + 1
+            return None
+        if html.startswith("</", pos):
+            match = _TAG_NAME_RE.match(html, pos + 2)
+            if match is None:
+                # "</ junk>" -- treat as text, browser-style.
+                self.pos = pos + 2
+                return _TextToken("</")
+            end = html.find(">", match.end())
+            self.pos = self.length if end == -1 else end + 1
+            return _EndTag(match.group(0).lower())
+        match = _TAG_NAME_RE.match(html, pos + 1)
+        if match is None:
+            # A bare "<" that opens no tag: literal text.
+            self.pos = pos + 1
+            return _TextToken("<")
+        name = match.group(0).lower()
+        attrs, tag_end, self_closing = self._consume_attrs(match.end())
+        self.pos = tag_end
+        return _StartTag(name, attrs, self_closing)
+
+    def _consume_attrs(self, pos: int) -> tuple[dict[str, str], int, bool]:
+        html = self.html
+        attrs: dict[str, str] = {}
+        while pos < self.length:
+            # End of tag?
+            stripped = pos
+            while stripped < self.length and html[stripped] in " \t\r\n":
+                stripped += 1
+            if stripped < self.length and html.startswith("/>", stripped):
+                return attrs, stripped + 2, True
+            if stripped < self.length and html[stripped] == ">":
+                return attrs, stripped + 1, False
+            match = _ATTR_RE.match(html, pos)
+            if match is None or match.end() == pos:
+                pos = stripped + 1  # skip junk character
+                continue
+            name = match.group(1).lower()
+            value = next((g for g in match.groups()[1:] if g is not None), "")
+            if name not in attrs:
+                attrs[name] = decode_entities(value)
+            pos = match.end()
+        return attrs, self.length, False
+
+    def _consume_raw_text(self, tag: str) -> tuple[str, Optional[_EndTag]]:
+        close = f"</{tag}"
+        lowered = self.html.lower()
+        idx = lowered.find(close, self.pos)
+        if idx == -1:
+            raw = self.html[self.pos :]
+            self.pos = self.length
+            return raw, _EndTag(tag)
+        raw = self.html[self.pos : idx]
+        gt = self.html.find(">", idx)
+        self.pos = self.length if gt == -1 else gt + 1
+        return raw, _EndTag(tag)
+
+
+# ----------------------------------------------------------------------
+# Tree builder
+# ----------------------------------------------------------------------
+def parse_html(html: str) -> Document:
+    """Parse ``html`` into a :class:`Document`.
+
+    Recovery rules (mirroring browser behaviour closely enough for our
+    pages): unknown end tags are dropped; an end tag for a non-innermost
+    open element closes every element in between; unclosed elements are
+    closed at end of input.
+    """
+    if not isinstance(html, str):
+        raise HTMLParseError(f"expected str, got {type(html).__name__}")
+    document = Document()
+    stack: list[Element] = []
+
+    def current() -> Document | Element:
+        return stack[-1] if stack else document
+
+    for token in _Tokenizer(html).tokens():
+        if isinstance(token, _TextToken):
+            if not token.data:
+                continue
+            parent = current()
+            if stack and stack[-1].tag in RAW_TEXT_ELEMENTS:
+                parent.append(Text(token.data))
+            else:
+                parent.append(Text(decode_entities(token.data)))
+        elif isinstance(token, _StartTag):
+            closers = _IMPLIED_CLOSERS.get  # local alias
+            # Implied closes: a new <li> terminates an open <li>, etc.
+            while stack:
+                openers = _IMPLIED_CLOSERS.get(stack[-1].tag)
+                if openers is not None and token.name in openers:
+                    stack.pop()
+                else:
+                    break
+            element = Element(token.name, token.attrs)
+            current().append(element)
+            if not token.self_closing and token.name not in VOID_ELEMENTS:
+                stack.append(element)
+        else:  # _EndTag
+            name = token.name
+            if name in VOID_ELEMENTS:
+                continue
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i].tag == name:
+                    del stack[i:]
+                    break
+            # else: stray end tag, dropped.
+    return document

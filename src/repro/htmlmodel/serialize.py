@@ -1,0 +1,66 @@
+"""Serialize a DOM tree back to HTML text.
+
+Used by the retailer servers (templates build DOM trees, the HTTP layer
+ships text) and by the $heriff page store (archived pages are text).  The
+output round-trips through :func:`repro.htmlmodel.parser.parse_html` to an
+equivalent tree, which the test suite asserts property-style.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.htmlmodel.dom import Document, Element, Node, Text
+from repro.htmlmodel.parser import RAW_TEXT_ELEMENTS, VOID_ELEMENTS
+
+__all__ = ["to_html", "escape_text", "escape_attr"]
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", '"': "&quot;", "<": "&lt;", ">": "&gt;"}
+
+
+def escape_text(data: str) -> str:
+    """Escape character data for element content."""
+    for char, entity in _TEXT_ESCAPES.items():
+        data = data.replace(char, entity)
+    return data
+
+
+def escape_attr(data: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for char, entity in _ATTR_ESCAPES.items():
+        data = data.replace(char, entity)
+    return data
+
+
+def to_html(node: Union[Document, Element, Text, Node]) -> str:
+    """Serialize ``node`` (and its subtree) to HTML text."""
+    parts: list[str] = []
+    _serialize(node, parts, raw=False)
+    return "".join(parts)
+
+
+def _serialize(node: Node, parts: list[str], raw: bool) -> None:
+    if isinstance(node, Text):
+        parts.append(node.data if raw else escape_text(node.data))
+        return
+    if isinstance(node, Document):
+        for child in node.children:
+            _serialize(child, parts, raw=False)
+        return
+    if isinstance(node, Element):
+        parts.append(f"<{node.tag}")
+        for name, value in node.attrs.items():
+            if value == "":
+                parts.append(f" {name}")
+            else:
+                parts.append(f' {name}="{escape_attr(value)}"')
+        parts.append(">")
+        if node.tag in VOID_ELEMENTS:
+            return
+        child_raw = node.tag in RAW_TEXT_ELEMENTS
+        for child in node.children:
+            _serialize(child, parts, raw=child_raw)
+        parts.append(f"</{node.tag}>")
+        return
+    raise TypeError(f"cannot serialize {type(node).__name__}")

@@ -1,0 +1,251 @@
+"""Dataset persistence: JSON-lines serialization for check reports.
+
+The paper's backend "store[s] the pages for analysis in a database"; the
+measurement datasets likewise need to outlive a process so the expensive
+crawl can be analyzed repeatedly.  Format:
+
+* line 1 -- a header object: ``{"format": "repro-reports", "version": 1,
+  "kind": "crawl"|"crowd", ...metadata}``,
+* every further line -- one serialized :class:`PriceCheckReport` (for
+  crawl datasets) or one crowd check record wrapping a report.
+
+Readers validate the header and fail loudly on version mismatch -- silent
+misreads of measurement data are worse than crashes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.core.extension import CheckOutcome
+from repro.core.reports import PriceCheckReport, VantageObservation
+from repro.crawler.records import CrawlDataset
+from repro.crowd.dataset import CheckRecord, CrowdDataset
+
+__all__ = [
+    "DatasetFormatError",
+    "save_crawl_dataset",
+    "load_crawl_dataset",
+    "save_crowd_dataset",
+    "load_crowd_dataset",
+    "report_to_dict",
+    "report_from_dict",
+]
+
+FORMAT_NAME = "repro-reports"
+FORMAT_VERSION = 1
+
+
+class DatasetFormatError(ValueError):
+    """Raised for files that are not valid dataset dumps."""
+
+
+# ----------------------------------------------------------------------
+# Report <-> dict
+# ----------------------------------------------------------------------
+def _observation_to_dict(obs: VantageObservation) -> dict:
+    return {
+        "vantage": obs.vantage,
+        "country": obs.country_code,
+        "city": obs.city,
+        "ok": obs.ok,
+        "raw": obs.raw_text,
+        "amount": obs.amount,
+        "currency": obs.currency,
+        "usd": obs.usd,
+        "method": obs.method,
+        "error": obs.error,
+    }
+
+
+def _observation_from_dict(data: dict) -> VantageObservation:
+    try:
+        return VantageObservation(
+            vantage=data["vantage"],
+            country_code=data["country"],
+            city=data.get("city", ""),
+            ok=bool(data["ok"]),
+            raw_text=data.get("raw", ""),
+            amount=data.get("amount"),
+            currency=data.get("currency"),
+            usd=data.get("usd"),
+            method=data.get("method", ""),
+            error=data.get("error", ""),
+        )
+    except KeyError as exc:
+        raise DatasetFormatError(f"observation missing field {exc}") from exc
+
+
+def report_to_dict(report: PriceCheckReport) -> dict:
+    """Serialize one report to a JSON-compatible dict."""
+    return {
+        "check_id": report.check_id,
+        "url": report.url,
+        "domain": report.domain,
+        "day": report.day_index,
+        "ts": report.timestamp,
+        "guard": report.guard_threshold,
+        "origin": report.origin,
+        "observations": [
+            _observation_to_dict(obs) for obs in report.observations
+        ],
+    }
+
+
+def report_from_dict(data: dict) -> PriceCheckReport:
+    """Deserialize one report; raises :class:`DatasetFormatError`."""
+    try:
+        return PriceCheckReport(
+            check_id=data["check_id"],
+            url=data["url"],
+            domain=data["domain"],
+            day_index=int(data["day"]),
+            timestamp=float(data["ts"]),
+            observations=[
+                _observation_from_dict(obs) for obs in data["observations"]
+            ],
+            guard_threshold=float(data.get("guard", 1.0)),
+            origin=data.get("origin", "crawler"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetFormatError(f"bad report record: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# File plumbing
+# ----------------------------------------------------------------------
+def _write_lines(path: Union[str, Path], header: dict, rows: Iterable[dict]) -> int:
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+        for row in rows:
+            fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def _read_lines(path: Union[str, Path], expected_kind: str) -> tuple[dict, list[dict]]:
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise DatasetFormatError(f"{path} is empty")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise DatasetFormatError(f"{path}: bad header: {exc}") from exc
+        if header.get("format") != FORMAT_NAME:
+            raise DatasetFormatError(f"{path}: not a {FORMAT_NAME} file")
+        if header.get("version") != FORMAT_VERSION:
+            raise DatasetFormatError(
+                f"{path}: unsupported version {header.get('version')!r}"
+            )
+        if header.get("kind") != expected_kind:
+            raise DatasetFormatError(
+                f"{path}: kind {header.get('kind')!r}, expected {expected_kind!r}"
+            )
+        rows = []
+        for line_no, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise DatasetFormatError(f"{path}:{line_no}: {exc}") from exc
+    return header, rows
+
+
+# ----------------------------------------------------------------------
+# Crawl dataset
+# ----------------------------------------------------------------------
+def save_crawl_dataset(
+    dataset: CrawlDataset, path: Union[str, Path], *, seed: Optional[int] = None
+) -> int:
+    """Write a crawl dataset; returns the number of report lines."""
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "kind": "crawl",
+        "reports": len(dataset.reports),
+        "seed": seed,
+    }
+    return _write_lines(
+        path, header, (report_to_dict(r) for r in dataset.reports)
+    )
+
+
+def load_crawl_dataset(path: Union[str, Path]) -> CrawlDataset:
+    """Read a crawl dataset written by :func:`save_crawl_dataset`."""
+    _, rows = _read_lines(path, "crawl")
+    dataset = CrawlDataset()
+    for row in rows:
+        dataset.add(report_from_dict(row))
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# Crowd dataset
+# ----------------------------------------------------------------------
+def save_crowd_dataset(
+    dataset: CrowdDataset, path: Union[str, Path], *, seed: Optional[int] = None
+) -> int:
+    """Write a crowd dataset; returns the number of record lines."""
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "kind": "crowd",
+        "records": len(dataset.records),
+        "seed": seed,
+    }
+
+    def rows() -> Iterable[dict]:
+        for record in dataset.records:
+            yield {
+                "user": record.user_id,
+                "country": record.user_country,
+                "day": record.day_index,
+                "domain": record.domain,
+                "url": record.url,
+                "user_amount": record.outcome.user_amount,
+                "user_currency": record.outcome.user_currency,
+                "failure": record.outcome.failure,
+                "report": (
+                    report_to_dict(record.report) if record.report else None
+                ),
+            }
+
+    return _write_lines(path, header, rows())
+
+
+def load_crowd_dataset(path: Union[str, Path]) -> CrowdDataset:
+    """Read a crowd dataset written by :func:`save_crowd_dataset`."""
+    _, rows = _read_lines(path, "crowd")
+    dataset = CrowdDataset()
+    for row in rows:
+        try:
+            outcome = CheckOutcome(
+                url=row["url"],
+                user=row["user"],
+                report=(
+                    report_from_dict(row["report"]) if row.get("report") else None
+                ),
+                user_amount=row.get("user_amount"),
+                user_currency=row.get("user_currency"),
+                failure=row.get("failure", ""),
+            )
+            dataset.add(
+                CheckRecord(
+                    user_id=row["user"],
+                    user_country=row["country"],
+                    day_index=int(row["day"]),
+                    domain=row["domain"],
+                    url=row["url"],
+                    outcome=outcome,
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetFormatError(f"bad crowd record: {exc}") from exc
+    return dataset

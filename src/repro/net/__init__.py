@@ -1,0 +1,48 @@
+"""Simulated network substrate.
+
+The paper's measurement system depends on a piece of infrastructure we do
+not have: 14 vantage points scattered around the world issuing synchronized
+HTTP requests to live retailers.  This package provides a faithful,
+deterministic stand-in:
+
+* :mod:`repro.net.urls` -- URL parsing, joining and normalization,
+* :mod:`repro.net.http` -- request/response messages and header handling,
+* :mod:`repro.net.geoip` -- an IP address plan plus a geo-IP database that
+  retailer servers use to localize prices and currencies (exactly the
+  mechanism the paper says causes per-location prices),
+* :mod:`repro.net.clock` -- virtual time shared by the whole simulation,
+* :mod:`repro.net.transport` -- DNS + routing of requests to registered
+  servers with a latency model,
+* :mod:`repro.net.useragent` -- browser/OS profiles (Fig. 7 includes three
+  Spain vantage points differing only in browser configuration),
+* :mod:`repro.net.cookiejar` -- client-side cookie storage,
+* :mod:`repro.net.vantage` -- the measurement vantage points themselves.
+"""
+
+from repro.net.clock import VirtualClock
+from repro.net.geoip import GeoIPDatabase, GeoLocation, IPAddressPlan
+from repro.net.http import Headers, HttpRequest, HttpResponse, HttpStatus
+from repro.net.transport import DNSError, Network, TransportError
+from repro.net.urls import URL, urljoin
+from repro.net.useragent import BrowserProfile, STANDARD_PROFILES
+from repro.net.vantage import VantagePoint, standard_vantage_points
+
+__all__ = [
+    "BrowserProfile",
+    "DNSError",
+    "GeoIPDatabase",
+    "GeoLocation",
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpStatus",
+    "IPAddressPlan",
+    "Network",
+    "STANDARD_PROFILES",
+    "TransportError",
+    "URL",
+    "VantagePoint",
+    "VirtualClock",
+    "standard_vantage_points",
+    "urljoin",
+]

@@ -1,0 +1,129 @@
+"""Virtual time for the whole simulation.
+
+The paper's methodology leans on timing twice: fan-out requests are
+*synchronized* across vantage points ("so that they occur almost at the same
+time"), and the crawl is *daily for a week*.  A shared virtual clock makes
+both reproducible and lets tests inject temporal price drift to verify the
+synchronization actually suppresses it.
+
+Time is modeled as seconds since the simulation epoch, which we pin to
+2013-01-01 00:00:00 UTC -- the start of the paper's collection window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["VirtualClock", "SimDate", "SECONDS_PER_DAY", "EPOCH_LABEL"]
+
+SECONDS_PER_DAY = 86_400
+EPOCH_LABEL = "2013-01-01T00:00:00Z"
+
+_MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+_MONTH_NAMES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+
+@dataclass(frozen=True, order=True)
+class SimDate:
+    """A calendar date inside the (non-leap) simulation year 2013."""
+
+    day_index: int  # days since 2013-01-01
+
+    def __post_init__(self) -> None:
+        if self.day_index < 0:
+            raise ValueError("day_index must be >= 0")
+
+    @property
+    def month(self) -> int:
+        """1-based month, wrapping years if the index runs past December."""
+        return self._ymd()[1]
+
+    @property
+    def day(self) -> int:
+        return self._ymd()[2]
+
+    @property
+    def year(self) -> int:
+        return self._ymd()[0]
+
+    def _ymd(self) -> tuple[int, int, int]:
+        remaining = self.day_index
+        year = 2013
+        while True:
+            days_in_year = 366 if _is_leap(year) else 365
+            if remaining < days_in_year:
+                break
+            remaining -= days_in_year
+            year += 1
+        for month, days in enumerate(_month_days(year), start=1):
+            if remaining < days:
+                return year, month, remaining + 1
+            remaining -= days
+        raise AssertionError("unreachable")
+
+    def label(self) -> str:
+        """Human-readable ``05-Mar-2013`` form."""
+        year, month, day = self._ymd()
+        return f"{day:02d}-{_MONTH_NAMES[month - 1]}-{year}"
+
+    def iso(self) -> str:
+        """ISO-8601 ``YYYY-MM-DD`` form."""
+        year, month, day = self._ymd()
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _month_days(year: int) -> tuple[int, ...]:
+    if _is_leap(year):
+        return _MONTH_DAYS[:1] + (29,) + _MONTH_DAYS[2:]
+    return _MONTH_DAYS
+
+
+class VirtualClock:
+    """Monotonic virtual time in seconds since the simulation epoch."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before the epoch")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds since epoch)."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time not before now."""
+        if timestamp < self._now:
+            raise ValueError("time cannot go backwards")
+        self._now = float(timestamp)
+        return self._now
+
+    @property
+    def date(self) -> SimDate:
+        """Calendar date of the current instant."""
+        return SimDate(int(self._now // SECONDS_PER_DAY))
+
+    def seconds_into_day(self) -> float:
+        """Seconds elapsed since the current day's midnight."""
+        return self._now % SECONDS_PER_DAY
+
+    def days(self, count: int, *, start_day: int | None = None) -> Iterator[SimDate]:
+        """Iterate ``count`` consecutive dates starting today (or start_day)."""
+        first = self.date.day_index if start_day is None else start_day
+        for index in range(first, first + count):
+            yield SimDate(index)

@@ -1,0 +1,113 @@
+"""Client-side cookie storage.
+
+Cookies carry the personal-information signals the paper studies: login
+sessions (the Kindle ebook experiment of Fig. 10), trained personas
+(affluent vs budget), and server-assigned A/B buckets (a noise source the
+methodology must suppress).  The jar is per-client, host-scoped, and honors
+``Path`` and ``Max-Age`` against the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.http import HttpResponse, SetCookie
+from repro.net.urls import URL
+
+__all__ = ["CookieJar", "StoredCookie"]
+
+
+@dataclass
+class StoredCookie:
+    """A cookie at rest in a jar."""
+
+    host: str
+    name: str
+    value: str
+    path: str = "/"
+    expires_at: Optional[float] = None  # virtual time; None = session cookie
+    secure: bool = False
+
+    def matches(self, url: URL, now: float) -> bool:
+        """True if this cookie should be sent on a request to ``url``."""
+        if self.host != url.host:
+            return False
+        if self.expires_at is not None and now >= self.expires_at:
+            return False
+        if self.secure and url.scheme != "https":
+            return False
+        path = self.path if self.path.endswith("/") else self.path + "/"
+        target = url.path if url.path.endswith("/") else url.path + "/"
+        return target.startswith(path) or url.path == self.path
+
+
+class CookieJar:
+    """Host-scoped cookie store for one simulated client."""
+
+    def __init__(self) -> None:
+        self._cookies: dict[tuple[str, str, str], StoredCookie] = {}
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    # ------------------------------------------------------------------
+    def set(self, host: str, cookie: SetCookie, *, now: float = 0.0) -> None:
+        """Store a ``Set-Cookie`` received from ``host``.
+
+        ``Max-Age=0`` (or negative) deletes the cookie, per RFC 6265.
+        """
+        key = (host, cookie.name, cookie.path)
+        if cookie.max_age is not None and cookie.max_age <= 0:
+            self._cookies.pop(key, None)
+            return
+        expires = None if cookie.max_age is None else now + cookie.max_age
+        self._cookies[key] = StoredCookie(
+            host=host,
+            name=cookie.name,
+            value=cookie.value,
+            path=cookie.path,
+            expires_at=expires,
+            secure=cookie.secure,
+        )
+
+    def update_from_response(self, url: URL, response: HttpResponse, *, now: float = 0.0) -> None:
+        """Ingest every ``Set-Cookie`` header of ``response``."""
+        for cookie in response.set_cookies:
+            self.set(url.host, cookie, now=now)
+
+    def put(self, host: str, name: str, value: str, *, path: str = "/") -> None:
+        """Directly install a cookie (used to inject login sessions)."""
+        self._cookies[(host, name, path)] = StoredCookie(
+            host=host, name=name, value=value, path=path
+        )
+
+    def get(self, host: str, name: str) -> Optional[str]:
+        """Value of cookie ``name`` for ``host`` ignoring path, or None."""
+        for (h, n, _), cookie in self._cookies.items():
+            if h == host and n == name:
+                return cookie.value
+        return None
+
+    def clear(self, host: Optional[str] = None) -> None:
+        """Forget all cookies, or only those of ``host``."""
+        if host is None:
+            self._cookies.clear()
+            return
+        self._cookies = {
+            key: cookie for key, cookie in self._cookies.items() if key[0] != host
+        }
+
+    # ------------------------------------------------------------------
+    def header_for(self, url: URL, *, now: float = 0.0) -> Optional[str]:
+        """The ``Cookie:`` header value for a request to ``url``."""
+        sendable = [
+            cookie
+            for cookie in self._cookies.values()
+            if cookie.matches(url, now)
+        ]
+        if not sendable:
+            return None
+        # Longest path first, then by name for determinism.
+        sendable.sort(key=lambda c: (-len(c.path), c.name))
+        return "; ".join(f"{c.name}={c.value}" for c in sendable)

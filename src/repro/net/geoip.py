@@ -1,0 +1,183 @@
+"""IP address plan and geo-IP database.
+
+The paper observes that "our different vantage points access always the same
+retailer site, but can be displayed prices on different currencies (the
+local one) because retailers typically geo-locate their IP address".  That
+mechanism is the heart of the simulation: retailer servers look up the
+client IP in a geo-IP database and localize currency, number format, and --
+for discriminating retailers -- price.
+
+:class:`IPAddressPlan` deterministically carves an IPv4-like space into
+per-country/city blocks and can allocate addresses for vantage points and
+crowd users.  :class:`GeoIPDatabase` performs longest-prefix lookup over the
+allocated blocks, like a real MaxMind-style database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["GeoLocation", "IPAddressPlan", "GeoIPDatabase", "ip_to_int", "int_to_ip"]
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A resolved location: ISO country code, country name, city."""
+
+    country_code: str
+    country: str
+    city: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.country} - {self.city}" if self.city else self.country
+
+
+def ip_to_int(ip: str) -> int:
+    """Convert dotted-quad to integer; raises ValueError when malformed."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"bad IPv4 address: {ip!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"bad IPv4 address: {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert integer to dotted-quad."""
+    if not 0 <= value < 2**32:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+#: Country/city seed data: ISO code, country name, cities.  Covers the 18
+#: crowd countries (paper §3.2) and all vantage-point locations (Fig. 7).
+COUNTRY_SEED: tuple[tuple[str, str, tuple[str, ...]], ...] = (
+    ("US", "USA", ("Boston", "Chicago", "Lincoln", "Los Angeles", "New York", "Albany")),
+    ("GB", "UK", ("London",)),
+    ("ES", "Spain", ("Barcelona", "Madrid")),
+    ("FI", "Finland", ("Tampere", "Helsinki")),
+    ("DE", "Germany", ("Berlin", "Munich")),
+    ("BE", "Belgium", ("Liege", "Brussels")),
+    ("BR", "Brazil", ("Sao Paulo", "Rio de Janeiro")),
+    ("IT", "Italy", ("Milan", "Rome")),
+    ("FR", "France", ("Paris", "Lyon")),
+    ("NL", "Netherlands", ("Amsterdam",)),
+    ("PL", "Poland", ("Warsaw", "Krakow")),
+    ("PT", "Portugal", ("Lisbon",)),
+    ("GR", "Greece", ("Athens",)),
+    ("IE", "Ireland", ("Dublin",)),
+    ("SE", "Sweden", ("Stockholm",)),
+    ("CH", "Switzerland", ("Zurich",)),
+    ("CA", "Canada", ("Toronto",)),
+    ("AU", "Australia", ("Sydney",)),
+    ("JP", "Japan", ("Tokyo",)),
+    ("IN", "India", ("Bangalore",)),
+)
+
+COUNTRY_NAMES: dict[str, str] = {code: name for code, name, _ in COUNTRY_SEED}
+
+
+@dataclass(frozen=True)
+class _Block:
+    """A /16-style block assigned to one city."""
+
+    base: int
+    size: int
+    location: GeoLocation
+
+
+class IPAddressPlan:
+    """Deterministic allocation of address blocks to cities.
+
+    Every (country, city) pair from :data:`COUNTRY_SEED` receives a /16
+    block starting at ``10.0.0.0``-style bases (the exact numbers carry no
+    meaning; only that blocks are disjoint and deterministic).
+    """
+
+    BLOCK_SIZE = 1 << 16
+
+    def __init__(self) -> None:
+        self._blocks: list[_Block] = []
+        self._by_city: dict[tuple[str, str], _Block] = {}
+        self._next_host: dict[tuple[str, str], int] = {}
+        base = ip_to_int("20.0.0.0")
+        for code, country, cities in COUNTRY_SEED:
+            for city in cities:
+                location = GeoLocation(code, country, city)
+                block = _Block(base=base, size=self.BLOCK_SIZE, location=location)
+                self._blocks.append(block)
+                self._by_city[(code, city)] = block
+                self._next_host[(code, city)] = 10
+                base += self.BLOCK_SIZE
+
+    # ------------------------------------------------------------------
+    def allocate(self, country_code: str, city: Optional[str] = None) -> str:
+        """Allocate the next unused address in the city's block.
+
+        If ``city`` is omitted the country's first seeded city is used.
+        """
+        key = self._resolve_key(country_code, city)
+        block = self._by_city[key]
+        host = self._next_host[key]
+        if host >= block.size - 1:
+            raise RuntimeError(f"address block exhausted for {key}")
+        self._next_host[key] = host + 1
+        return int_to_ip(block.base + host)
+
+    def _resolve_key(self, country_code: str, city: Optional[str]) -> tuple[str, str]:
+        code = country_code.upper()
+        if city is not None:
+            key = (code, city)
+            if key not in self._by_city:
+                raise KeyError(f"unknown city {city!r} in {code}")
+            return key
+        for seed_code, _, cities in COUNTRY_SEED:
+            if seed_code == code:
+                return (code, cities[0])
+        raise KeyError(f"unknown country code {country_code!r}")
+
+    @property
+    def blocks(self) -> list[_Block]:
+        return list(self._blocks)
+
+    def database(self) -> "GeoIPDatabase":
+        """A lookup database over this plan's blocks."""
+        return GeoIPDatabase(self._blocks)
+
+
+class GeoIPDatabase:
+    """Maps an IP address to its :class:`GeoLocation` via block lookup."""
+
+    def __init__(self, blocks: list[_Block]) -> None:
+        self._blocks = sorted(blocks, key=lambda b: b.base)
+
+    def lookup(self, ip: str) -> Optional[GeoLocation]:
+        """Resolve ``ip`` or return ``None`` for unallocated space."""
+        try:
+            value = ip_to_int(ip)
+        except ValueError:
+            return None
+        # Binary search over sorted disjoint blocks.
+        lo, hi = 0, len(self._blocks) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            block = self._blocks[mid]
+            if value < block.base:
+                hi = mid - 1
+            elif value >= block.base + block.size:
+                lo = mid + 1
+            else:
+                return block.location
+        return None
+
+    def country_code(self, ip: str) -> Optional[str]:
+        """Country code of ``ip``, or ``None``."""
+        location = self.lookup(ip)
+        return location.country_code if location else None

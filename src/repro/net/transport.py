@@ -1,0 +1,210 @@
+"""DNS + request routing with a latency model.
+
+:class:`Network` is the spine of the simulation: servers register under
+hostnames, clients issue :class:`~repro.net.http.HttpRequest` objects, and
+the network resolves the hostname, applies per-hop latency (seeded jitter),
+stamps virtual-clock timestamps, follows redirects, and returns the
+response.  Packet loss can be enabled to exercise the retry paths in the
+crawler and $heriff backend.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.net.clock import VirtualClock
+from repro.net.http import Headers, HttpRequest, HttpResponse, HttpStatus
+from repro.net.urls import URL, urljoin
+
+__all__ = ["Network", "Server", "DNSError", "TransportError", "LatencyModel"]
+
+
+class TransportError(RuntimeError):
+    """A request failed below HTTP level (timeout / simulated loss)."""
+
+
+class DNSError(TransportError):
+    """The hostname is not registered with the network."""
+
+
+class Server(Protocol):
+    """Anything that can answer a request.
+
+    Retailer servers, tracker endpoints, and test doubles implement this.
+    """
+
+    def handle(self, request: HttpRequest) -> HttpResponse:  # pragma: no cover
+        """Answer one request (servers are single-threaded and pure)."""
+        ...
+
+
+@dataclass
+class LatencyModel:
+    """Base latency plus uniform jitter, in virtual seconds."""
+
+    base: float = 0.08
+    jitter: float = 0.04
+
+    def sample(self, rng: random.Random) -> float:
+        """One latency draw: base plus uniform jitter."""
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+class Network:
+    """Routes requests to servers registered by hostname.
+
+    Parameters
+    ----------
+    clock:
+        The shared virtual clock; every delivered request advances it by
+        the sampled latency so timestamps are causally ordered.
+    seed:
+        Seeds the jitter / loss RNG; the same seed reproduces the same
+        request timeline bit-for-bit.
+    loss_rate:
+        Probability a request is dropped with :class:`TransportError`.
+    """
+
+    MAX_REDIRECTS = 5
+
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        *,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.clock = clock or VirtualClock()
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._servers: dict[str, Server] = {}
+        self.request_log: list[HttpRequest] = []
+        self._request_count = 0
+
+    # ------------------------------------------------------------------
+    # Registration / DNS
+    # ------------------------------------------------------------------
+    def register(self, hostname: str, server: Server) -> None:
+        """Bind ``hostname`` to ``server``; re-binding replaces."""
+        self._servers[hostname.lower()] = server
+
+    def unregister(self, hostname: str) -> None:
+        """Remove a hostname binding (missing hostnames are ignored)."""
+        self._servers.pop(hostname.lower(), None)
+
+    def resolve(self, hostname: str) -> Server:
+        """Return the server for ``hostname`` or raise :class:`DNSError`."""
+        try:
+            return self._servers[hostname.lower()]
+        except KeyError:
+            raise DNSError(f"NXDOMAIN: {hostname}") from None
+
+    @property
+    def hostnames(self) -> list[str]:
+        return sorted(self._servers)
+
+    @property
+    def request_count(self) -> int:
+        """Total requests delivered (including redirect hops)."""
+        return self._request_count
+
+    # ------------------------------------------------------------------
+    # Request delivery
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        request: HttpRequest,
+        *,
+        follow_redirects: bool = True,
+        record: bool = False,
+    ) -> HttpResponse:
+        """Deliver ``request``, optionally following redirects.
+
+        The response's ``url`` is the final URL and ``elapsed`` the total
+        virtual round-trip time across hops.
+        """
+        started = self.clock.now
+        current = request
+        # Set-Cookie headers seen on redirect hops must survive to the
+        # final response -- a browser applies them at every hop.
+        pending_cookies: list[str] = []
+        for _ in range(self.MAX_REDIRECTS + 1):
+            response = self._deliver(current, record=record)
+            if follow_redirects and response.status.is_redirect:
+                location = response.headers.get("Location")
+                if not location:
+                    break
+                pending_cookies.extend(response.headers.get_all("Set-Cookie"))
+                next_url = urljoin(current.url, location)
+                headers = current.headers.copy()
+                if pending_cookies and next_url.host == current.url.host:
+                    headers.set("Cookie", _merge_cookies(
+                        headers.get("Cookie"), pending_cookies
+                    ))
+                current = HttpRequest(
+                    method="GET",
+                    url=next_url,
+                    headers=headers,
+                    client_ip=current.client_ip,
+                    timestamp=self.clock.now,
+                )
+                continue
+            break
+        else:
+            raise TransportError(f"too many redirects for {request.url}")
+        for header in pending_cookies:
+            response.headers.add("Set-Cookie", header)
+        response.url = current.url
+        response.elapsed = self.clock.now - started
+        return response
+
+    def _deliver(self, request: HttpRequest, *, record: bool) -> HttpResponse:
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            # A lost request still burns time (timeout).
+            self.clock.advance(self.latency.base * 10)
+            raise TransportError(f"request to {request.url.host} timed out")
+        server = self.resolve(request.url.host)
+        self.clock.advance(self.latency.sample(self._rng))
+        request.timestamp = self.clock.now
+        self._request_count += 1
+        if record:
+            self.request_log.append(request)
+        response = server.handle(request)
+        self.clock.advance(self.latency.sample(self._rng))
+        return response
+
+
+def _merge_cookies(existing: Optional[str], set_cookie_headers: list[str]) -> str:
+    """Fold redirect-hop Set-Cookie values into a request Cookie header."""
+    pairs: dict[str, str] = {}
+    if existing:
+        for item in existing.split(";"):
+            item = item.strip()
+            if "=" in item:
+                name, _, value = item.partition("=")
+                pairs[name.strip()] = value.strip()
+    for header in set_cookie_headers:
+        first = header.split(";", 1)[0]
+        if "=" in first:
+            name, _, value = first.partition("=")
+            pairs[name.strip()] = value.strip()
+    return "; ".join(f"{k}={v}" for k, v in pairs.items())
+
+
+class FunctionServer:
+    """Adapt a plain callable into a :class:`Server` (testing helper)."""
+
+    def __init__(self, fn: Callable[[HttpRequest], HttpResponse]) -> None:
+        self._fn = fn
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Delegate to the wrapped callable."""
+        return self._fn(request)

@@ -1,0 +1,251 @@
+"""URL parsing, joining and normalization.
+
+$heriff's unit of identity is the *exact URI* the user was looking at: the
+extension ships it to the backend, the backend fans it out verbatim, the
+crawler deduplicates on it, and the analysis keys products by it.  The paper
+notes that product customization *not* encoded on the URI is a noise source;
+keeping URL handling explicit (rather than passing raw strings around) is
+what lets the cleaning stage reason about that.
+
+Implemented from scratch (no :mod:`urllib`): scheme, host, port, path,
+query (ordered multi-map) and fragment, with RFC-3986-style relative
+reference resolution for the subset our pages produce.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+__all__ = ["URL", "URLError", "urljoin", "parse_query", "encode_query"]
+
+
+class URLError(ValueError):
+    """Raised for strings that cannot be interpreted as a URL."""
+
+
+_SCHEME_RE = re.compile(r"^([a-zA-Z][a-zA-Z0-9+.-]*):")
+_HOST_PORT_RE = re.compile(r"^(?P<host>\[[^\]]+\]|[^:]*)(?::(?P<port>\d+))?$")
+_DEFAULT_PORTS = {"http": 80, "https": 443}
+
+_UNRESERVED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+
+
+def _percent_encode(text: str, *, keep: str = "") -> str:
+    safe = _UNRESERVED | set(keep)
+    out: list[str] = []
+    for byte in text.encode("utf-8"):
+        char = chr(byte)
+        if char in safe:
+            out.append(char)
+        else:
+            out.append(f"%{byte:02X}")
+    return "".join(out)
+
+
+def _percent_decode(text: str) -> str:
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "%" and i + 2 < len(text) + 1:
+            hex_part = text[i + 1 : i + 3]
+            if len(hex_part) == 2 and all(c in "0123456789abcdefABCDEF" for c in hex_part):
+                out.append(int(hex_part, 16))
+                i += 3
+                continue
+        if char == "+":
+            out.append(0x20)
+            i += 1
+            continue
+        out.extend(char.encode("utf-8"))
+        i += 1
+    return out.decode("utf-8", errors="replace")
+
+
+def parse_query(query: str) -> list[tuple[str, str]]:
+    """Parse ``a=1&b=two`` into an ordered list of (key, value) pairs."""
+    pairs: list[tuple[str, str]] = []
+    if not query:
+        return pairs
+    for item in query.split("&"):
+        if not item:
+            continue
+        key, _, value = item.partition("=")
+        pairs.append((_percent_decode(key), _percent_decode(value)))
+    return pairs
+
+
+def encode_query(pairs: Iterable[tuple[str, str]]) -> str:
+    """Encode (key, value) pairs as a query string."""
+    return "&".join(
+        f"{_percent_encode(k)}={_percent_encode(v)}" for k, v in pairs
+    )
+
+
+@dataclass(frozen=True)
+class URL:
+    """An immutable parsed URL.
+
+    ``query`` is kept as an ordered tuple of pairs; product ids routinely
+    live in the query (``?sku=B00ABC``) and order matters for the exact-URI
+    identity $heriff relies on.
+    """
+
+    scheme: str = "http"
+    host: str = ""
+    port: Optional[int] = None
+    path: str = "/"
+    query: tuple[tuple[str, str], ...] = ()
+    fragment: str = ""
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "URL":
+        """Parse an absolute URL string."""
+        if not isinstance(text, str) or not text.strip():
+            raise URLError("empty URL")
+        text = text.strip()
+        match = _SCHEME_RE.match(text)
+        if match is None:
+            raise URLError(f"URL has no scheme: {text!r}")
+        scheme = match.group(1).lower()
+        rest = text[match.end() :]
+        if not rest.startswith("//"):
+            raise URLError(f"URL has no authority: {text!r}")
+        rest = rest[2:]
+        # Split off fragment, then query, then path.
+        rest, _, fragment = rest.partition("#")
+        rest, _, query = rest.partition("?")
+        slash = rest.find("/")
+        if slash == -1:
+            authority, path = rest, "/"
+        else:
+            authority, path = rest[:slash], rest[slash:]
+        hp = _HOST_PORT_RE.match(authority)
+        if hp is None or not hp.group("host"):
+            raise URLError(f"bad authority in {text!r}")
+        host = hp.group("host").lower()
+        port = int(hp.group("port")) if hp.group("port") else None
+        if port is not None and not (0 < port < 65536):
+            raise URLError(f"port out of range in {text!r}")
+        return cls(
+            scheme=scheme,
+            host=host,
+            port=port,
+            path=_normalize_path(_percent_decode_path(path)),
+            query=tuple(parse_query(query)),
+            fragment=_percent_decode(fragment),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_port(self) -> int:
+        """The port in use, defaulting per scheme."""
+        if self.port is not None:
+            return self.port
+        return _DEFAULT_PORTS.get(self.scheme, 80)
+
+    @property
+    def origin(self) -> str:
+        """``scheme://host[:port]`` with default ports elided."""
+        if self.port is not None and self.port != _DEFAULT_PORTS.get(self.scheme):
+            return f"{self.scheme}://{self.host}:{self.port}"
+        return f"{self.scheme}://{self.host}"
+
+    def query_param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of query parameter ``name``."""
+        for key, value in self.query:
+            if key == name:
+                return value
+        return default
+
+    def with_query(self, **params: str) -> "URL":
+        """A copy with the given parameters appended/replaced (by key)."""
+        remaining = [(k, v) for k, v in self.query if k not in params]
+        added = [(k, str(v)) for k, v in params.items()]
+        return replace(self, query=tuple(remaining + added))
+
+    def without_fragment(self) -> "URL":
+        """A copy with the fragment removed."""
+        return replace(self, fragment="")
+
+    def canonical(self) -> "URL":
+        """Identity-normalized form: no fragment, default port elided."""
+        port = None if self.port == _DEFAULT_PORTS.get(self.scheme) else self.port
+        return replace(self, fragment="", port=port)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        out = [self.origin, _percent_encode(self.path, keep="/")]
+        if self.query:
+            out.append("?" + encode_query(self.query))
+        if self.fragment:
+            out.append("#" + _percent_encode(self.fragment))
+        return "".join(out)
+
+
+def _percent_decode_path(path: str) -> str:
+    # '+' is literal in paths, only percent escapes decode.
+    return _percent_decode(path.replace("+", "%2B"))
+
+
+def _normalize_path(path: str) -> str:
+    """Resolve ``.`` and ``..`` segments and collapse empty path to ``/``."""
+    if not path:
+        return "/"
+    segments = path.split("/")
+    out: list[str] = []
+    for segment in segments:
+        if segment == ".":
+            continue
+        if segment == "..":
+            if len(out) > 1:
+                out.pop()
+            continue
+        out.append(segment)
+    normalized = "/".join(out)
+    if not normalized.startswith("/"):
+        normalized = "/" + normalized
+    return normalized
+
+
+def urljoin(base: URL | str, reference: str) -> URL:
+    """Resolve ``reference`` against ``base`` (RFC 3986 subset).
+
+    Handles absolute URLs, network-path (``//host/...``), absolute-path and
+    relative-path references, query-only and fragment-only references --
+    the forms retailer pages use in product links.
+    """
+    if isinstance(base, str):
+        base = URL.parse(base)
+    reference = reference.strip()
+    if not reference:
+        return base
+    if _SCHEME_RE.match(reference):
+        return URL.parse(reference)
+    if reference.startswith("//"):
+        return URL.parse(f"{base.scheme}:{reference}")
+    if reference.startswith("#"):
+        return replace(base, fragment=_percent_decode(reference[1:]))
+    if reference.startswith("?"):
+        ref, _, fragment = reference[1:].partition("#")
+        return replace(
+            base, query=tuple(parse_query(ref)), fragment=_percent_decode(fragment)
+        )
+    ref, _, fragment = reference.partition("#")
+    ref, _, query = ref.partition("?")
+    if ref.startswith("/"):
+        path = ref
+    else:
+        directory = base.path.rsplit("/", 1)[0]
+        path = f"{directory}/{ref}"
+    return replace(
+        base,
+        path=_normalize_path(_percent_decode_path(path)),
+        query=tuple(parse_query(query)),
+        fragment=_percent_decode(fragment),
+    )

@@ -1,0 +1,80 @@
+"""Browser/OS profiles.
+
+Fig. 7 of the paper includes three vantage points in Spain that differ only
+in system configuration -- "Spain (Linux,FF)", "Spain (Mac,Safari)",
+"Spain (Win,Chrome)" -- to separate the effect of the browser/OS from the
+effect of location.  A :class:`BrowserProfile` carries everything a request
+needs to look like that configuration: User-Agent string, Accept-Language,
+and platform metadata that discriminating retailers may key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BrowserProfile", "STANDARD_PROFILES", "profile_for"]
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """A reproducible browser configuration."""
+
+    browser: str  # "firefox" | "chrome" | "safari"
+    os: str  # "linux" | "windows" | "macos"
+    version: str
+    accept_language: str = "en-US,en;q=0.8"
+
+    @property
+    def label(self) -> str:
+        short_os = {"linux": "Linux", "windows": "Win", "macos": "Mac"}[self.os]
+        short_browser = {"firefox": "FF", "chrome": "Chrome", "safari": "Safari"}[
+            self.browser
+        ]
+        return f"{short_os},{short_browser}"
+
+    @property
+    def user_agent(self) -> str:
+        """A plausible circa-2013 User-Agent string for this profile."""
+        platforms = {
+            "linux": "X11; Linux x86_64",
+            "windows": "Windows NT 6.1; WOW64",
+            "macos": "Macintosh; Intel Mac OS X 10_8_2",
+        }
+        platform = platforms[self.os]
+        if self.browser == "firefox":
+            return (
+                f"Mozilla/5.0 ({platform}; rv:{self.version}) "
+                f"Gecko/20100101 Firefox/{self.version}"
+            )
+        if self.browser == "chrome":
+            return (
+                f"Mozilla/5.0 ({platform}) AppleWebKit/537.36 "
+                f"(KHTML, like Gecko) Chrome/{self.version} Safari/537.36"
+            )
+        if self.browser == "safari":
+            return (
+                f"Mozilla/5.0 ({platform}) AppleWebKit/536.26.17 "
+                f"(KHTML, like Gecko) Version/{self.version} Safari/536.26.17"
+            )
+        raise ValueError(f"unknown browser {self.browser!r}")
+
+
+#: The configurations used by the standard vantage points.
+STANDARD_PROFILES: dict[str, BrowserProfile] = {
+    "linux-firefox": BrowserProfile("firefox", "linux", "19.0"),
+    "windows-chrome": BrowserProfile("chrome", "windows", "25.0.1364.172"),
+    "macos-safari": BrowserProfile("safari", "macos", "6.0.2"),
+}
+
+
+def profile_for(browser: str, os: str) -> BrowserProfile:
+    """Look up or build a profile for a browser/os pair."""
+    key = f"{os}-{browser}"
+    if key in STANDARD_PROFILES:
+        return STANDARD_PROFILES[key]
+    versions = {"firefox": "19.0", "chrome": "25.0.1364.172", "safari": "6.0.2"}
+    if browser not in versions:
+        raise ValueError(f"unknown browser {browser!r}")
+    if os not in ("linux", "windows", "macos"):
+        raise ValueError(f"unknown os {os!r}")
+    return BrowserProfile(browser, os, versions[browser])

@@ -1,0 +1,132 @@
+"""Terminal rendering of the paper's figure types.
+
+The original figures are R box plots and scatter plots; the closest thing a
+library without plotting dependencies can ship is faithful monospace
+renderings.  Used by the CLI and the examples:
+
+* :func:`boxplot_rows` -- horizontal box plots (Figs. 2, 4, 7, 9),
+* :func:`scatter` -- a character-grid scatter with optional log-x
+  (Figs. 5, 6),
+* :func:`bars` -- magnitude-ordered bars (Figs. 1, 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.stats import BoxStats
+
+__all__ = ["boxplot_rows", "scatter", "bars"]
+
+
+def bars(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    sort: bool = True,
+) -> str:
+    """Horizontal bars, widest value = full width."""
+    if not values:
+        return "(no data)"
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    keys = sorted(values, key=values.get, reverse=True) if sort else list(values)
+    lines = []
+    for key in keys:
+        filled = int(round(width * values[key] / peak)) if peak > 0 else 0
+        lines.append(
+            f"{key.ljust(label_width)}  {'#' * filled:<{width}} "
+            f"{fmt.format(values[key])}"
+        )
+    return "\n".join(lines)
+
+
+def boxplot_rows(
+    stats: Mapping[str, BoxStats],
+    *,
+    width: int = 48,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One text box plot per key: ``|--[==M==]--|`` between whiskers.
+
+    ``lo``/``hi`` pin the axis; by default it spans the pooled whiskers.
+    """
+    if not stats:
+        return "(no data)"
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    axis_lo = lo if lo is not None else min(s.whisker_low for s in stats.values())
+    axis_hi = hi if hi is not None else max(s.whisker_high for s in stats.values())
+    if axis_hi <= axis_lo:
+        axis_hi = axis_lo + 1e-9
+
+    def col(value: float) -> int:
+        unit = (value - axis_lo) / (axis_hi - axis_lo)
+        return max(0, min(width - 1, int(round(unit * (width - 1)))))
+
+    label_width = max(len(k) for k in stats)
+    lines = [
+        f"{'':{label_width}}  {axis_lo:<10.3f}{'':{max(0, width - 20)}}{axis_hi:>10.3f}"
+    ]
+    for key in sorted(stats, key=lambda k: stats[k].median):
+        s = stats[key]
+        row = [" "] * width
+        for i in range(col(s.whisker_low), col(s.whisker_high) + 1):
+            row[i] = "-"
+        for i in range(col(s.q25), col(s.q75) + 1):
+            row[i] = "="
+        row[col(s.whisker_low)] = "|"
+        row[col(s.whisker_high)] = "|"
+        row[col(s.median)] = "M"
+        lines.append(f"{key.ljust(label_width)}  {''.join(row)}")
+    return "\n".join(lines)
+
+
+def scatter(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    marker: str = "o",
+) -> str:
+    """A character-grid scatter plot with axis annotations."""
+    if not points:
+        return "(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("grid too small")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    if log_x:
+        if min(xs) <= 0:
+            raise ValueError("log_x requires positive x values")
+        xs = [math.log10(x) for x in xs]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1e-9
+    y_span = (y_hi - y_lo) or 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        cx = int(round((x - x_lo) / x_span * (width - 1)))
+        cy = int(round((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - cy][cx] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = f"{y_hi:.2f}"
+        elif row_index == height - 1:
+            label = f"{y_lo:.2f}"
+        lines.append(f"{label:>8} |{''.join(row)}")
+    x_label_lo = f"10^{x_lo:.1f}" if log_x else f"{x_lo:.1f}"
+    x_label_hi = f"10^{x_hi:.1f}" if log_x else f"{x_hi:.1f}"
+    lines.append(f"{'':>8} +{'-' * width}")
+    lines.append(f"{'':>8}  {x_label_lo}{'':{max(1, width - len(x_label_lo) - len(x_label_hi))}}{x_label_hi}")
+    return "\n".join(lines)

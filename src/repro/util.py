@@ -1,0 +1,46 @@
+"""Small shared utilities: stable hashing and seeded RNG derivation.
+
+Python's built-in ``hash()`` of strings is salted per process, so anything
+seeded through it would change between runs.  Every stochastic choice in the
+simulation instead derives from :func:`stable_hash`, which is reproducible
+across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+__all__ = ["stable_hash", "stable_rng", "stable_uniform", "stable_choice"]
+
+
+def stable_hash(*parts: Any) -> int:
+    """A 64-bit hash of ``parts`` that is stable across processes.
+
+    Parts are rendered with ``repr`` and joined with an unambiguous
+    separator; floats therefore hash by their exact repr.
+    """
+    payload = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def stable_rng(*parts: Any) -> random.Random:
+    """A :class:`random.Random` seeded stably from ``parts``."""
+    return random.Random(stable_hash(*parts))
+
+
+def stable_uniform(low: float, high: float, *parts: Any) -> float:
+    """A deterministic uniform draw in [low, high) keyed by ``parts``."""
+    if high < low:
+        raise ValueError("high must be >= low")
+    unit = stable_hash(*parts) / 2**64
+    return low + (high - low) * unit
+
+
+def stable_choice(options: list, *parts: Any):
+    """A deterministic choice from ``options`` keyed by ``parts``."""
+    if not options:
+        raise ValueError("options must be non-empty")
+    return options[stable_hash(*parts) % len(options)]

@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+Heavy objects (worlds, datasets) are session-scoped: the simulation is
+deterministic and the tests only read from them.  Tests that need to
+mutate state build their own small worlds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backend import SheriffBackend
+from repro.ecommerce.world import World, WorldConfig, build_world
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> World:
+    """A small but complete world: all named retailers, short catalogs."""
+    return build_world(WorldConfig(catalog_scale=0.15, long_tail_domains=12))
+
+
+@pytest.fixture(scope="session")
+def tiny_backend(tiny_world: World) -> SheriffBackend:
+    return SheriffBackend(
+        tiny_world.network, tiny_world.vantage_points, tiny_world.rates
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_ctx() -> ExperimentContext:
+    """A tiny experiment context; crowd/crawl built lazily on first use."""
+    return ExperimentContext("tiny", seed=2013)
+
+
+@pytest.fixture()
+def fresh_world() -> World:
+    """A private world for tests that log in, train personas, or advance
+    the clock aggressively."""
+    return build_world(WorldConfig(catalog_scale=0.15, long_tail_domains=3))

@@ -1,0 +1,175 @@
+"""Tests for the figure-producing analysis functions, on synthetic reports
+with known ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.extent import variation_extent
+from repro.analysis.locations import (
+    PairwisePanel,
+    finland_profile,
+    location_ratio_stats,
+    pairwise_grid,
+)
+from repro.analysis.products import per_vantage_structure, ratio_vs_min_price
+from repro.analysis.ratios import domain_ratio_stats, domain_ratios, domain_variation_counts
+from repro.core.reports import PriceCheckReport, VantageObservation
+
+
+def obs(vantage: str, usd: float, country: str = "US") -> VantageObservation:
+    return VantageObservation(
+        vantage=vantage, country_code=country, city="", ok=True,
+        raw_text=f"${usd}", amount=usd, currency="USD", usd=usd,
+    )
+
+
+def report(domain: str, url: str, prices: dict[str, float], *, day: int = 0,
+           guard: float = 1.01) -> PriceCheckReport:
+    return PriceCheckReport(
+        check_id=f"{url}@{day}", url=url, domain=domain, day_index=day,
+        timestamp=day * 86400.0,
+        observations=[obs(v, p) for v, p in prices.items()],
+        guard_threshold=guard,
+    )
+
+
+@pytest.fixture()
+def synthetic():
+    """Two domains: d1 multiplicative x1.3 on FI, d2 uniform."""
+    reports = []
+    for day in range(3):
+        for idx, base in enumerate((10.0, 100.0, 1000.0)):
+            reports.append(report(
+                "d1", f"http://d1/p{idx}",
+                {"US": base, "FI": base * 1.3, "UK": base * 1.1},
+                day=day,
+            ))
+            reports.append(report(
+                "d2", f"http://d2/p{idx}",
+                {"US": base, "FI": base, "UK": base},
+                day=day,
+            ))
+    return reports
+
+
+class TestRatios:
+    def test_variation_counts(self, synthetic):
+        counts = domain_variation_counts(synthetic)
+        assert counts["d1"] == 9
+        assert "d2" not in counts
+
+    def test_domain_ratios_all_vs_varied(self, synthetic):
+        all_ratios = domain_ratios(synthetic)
+        assert len(all_ratios["d1"]) == 9
+        assert len(all_ratios["d2"]) == 9
+        varied = domain_ratios(synthetic, only_variation=True)
+        assert "d2" not in varied
+
+    def test_ratio_stats_values(self, synthetic):
+        stats = domain_ratio_stats(synthetic, only_variation=True)
+        assert stats["d1"].median == pytest.approx(1.3)
+
+    def test_min_samples(self, synthetic):
+        stats = domain_ratio_stats(synthetic, min_samples=100)
+        assert not stats
+        with pytest.raises(ValueError):
+            domain_ratio_stats(synthetic, min_samples=0)
+
+
+class TestExtent:
+    def test_extent_values(self, synthetic):
+        extent = variation_extent(synthetic)
+        assert extent["d1"] == 1.0
+        assert extent["d2"] == 0.0
+
+    def test_partial_extent(self):
+        reports = [
+            report("d", "http://d/varies", {"a": 10, "b": 13}),
+            report("d", "http://d/flat", {"a": 10, "b": 10}),
+        ]
+        assert variation_extent(reports)["d"] == 0.5
+
+    def test_min_reports_filter(self, synthetic):
+        assert variation_extent(synthetic, min_reports=10) == {}
+        with pytest.raises(ValueError):
+            variation_extent(synthetic, min_reports=0)
+
+
+class TestProducts:
+    def test_ratio_vs_min_price_points(self, synthetic):
+        points = ratio_vs_min_price(synthetic)
+        assert len(points) == 6  # 3 products x 2 domains
+        assert points == sorted(points, key=lambda p: p.min_price_usd)
+        d1_points = [p for p in points if p.domain == "d1"]
+        assert all(p.max_ratio == pytest.approx(1.3) for p in d1_points)
+
+    def test_per_round_ratio_not_polluted_by_drift(self):
+        """Price doubles between days but is flat within each day: the
+        synchronized methodology must report ratio 1.0."""
+        reports = [
+            report("d", "http://d/p", {"a": 10.0, "b": 10.0}, day=0),
+            report("d", "http://d/p", {"a": 20.0, "b": 20.0}, day=1),
+        ]
+        points = ratio_vs_min_price(reports)
+        assert points[0].max_ratio == pytest.approx(1.0)
+        assert points[0].min_price_usd == pytest.approx(10.0)
+
+    def test_only_variation_filter(self, synthetic):
+        points = ratio_vs_min_price(synthetic, only_variation=True)
+        assert {p.domain for p in points} == {"d1"}
+
+    def test_per_vantage_structure(self, synthetic):
+        series = per_vantage_structure(synthetic, "d1")
+        by_name = {s.vantage: s for s in series}
+        assert by_name["FI"].median_ratio() == pytest.approx(1.3)
+        assert by_name["US"].median_ratio() == pytest.approx(1.0)
+        assert by_name["UK"].median_ratio() == pytest.approx(1.1)
+        # One point per product.
+        assert len(by_name["FI"].points) == 3
+
+    def test_per_vantage_structure_filter(self, synthetic):
+        series = per_vantage_structure(synthetic, "d1", vantages=["FI"])
+        assert [s.vantage for s in series] == ["FI"]
+
+
+class TestLocations:
+    def test_location_stats(self, synthetic):
+        stats = location_ratio_stats(synthetic)
+        assert stats["FI"].median == pytest.approx(1.15)  # 1.3 on d1, 1.0 on d2
+        assert stats["US"].median == pytest.approx(1.0)
+
+    def test_pairwise_grid_relationships(self, synthetic):
+        grid = pairwise_grid(synthetic, "d1", ["US", "FI", "UK"])
+        assert grid[("FI", "US")].relationship() == "row-dearer"
+        assert grid[("US", "FI")].relationship() == "col-dearer"
+        assert len(grid) == 6  # ordered pairs
+
+    def test_pairwise_equal(self, synthetic):
+        grid = pairwise_grid(synthetic, "d2", ["US", "FI"])
+        assert grid[("FI", "US")].relationship() == "equal"
+
+    def test_pairwise_mixed(self):
+        reports = [
+            report("d", "http://d/p1", {"a": 10.0, "b": 12.0}),
+            report("d", "http://d/p2", {"a": 12.0, "b": 10.0}),
+        ]
+        grid = pairwise_grid(reports, "d", ["a", "b"])
+        assert grid[("a", "b")].relationship() == "mixed"
+
+    def test_pairwise_fractions(self):
+        panel = PairwisePanel("r", "c", points=((1.0, 1.2), (1.0, 1.0), (1.3, 1.0)))
+        assert panel.fraction_row_dearer() == pytest.approx(1 / 3)
+        assert panel.fraction_equal() == pytest.approx(1 / 3)
+
+    def test_pairwise_needs_two_locations(self, synthetic):
+        with pytest.raises(ValueError):
+            pairwise_grid(synthetic, "d1", ["US"])
+
+    def test_finland_profile(self, synthetic):
+        profile = finland_profile(synthetic, finland_vantage="FI")
+        assert profile["d1"].median == pytest.approx(1.3)
+        assert profile["d2"].median == pytest.approx(1.0)
+
+    def test_empty_panel_relationship(self):
+        assert PairwisePanel("r", "c", points=()).relationship() == "equal"

@@ -1,0 +1,112 @@
+"""Longitudinal/persistence analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.longitudinal import (
+    daily_extent,
+    extent_stability,
+    product_persistence,
+)
+from repro.core.reports import PriceCheckReport, VantageObservation
+
+
+def obs(vantage: str, usd: float) -> VantageObservation:
+    return VantageObservation(
+        vantage=vantage, country_code="US", city="", ok=True,
+        raw_text=f"${usd}", amount=usd, currency="USD", usd=usd,
+    )
+
+
+def report(domain: str, url: str, day: int, *, varied: bool) -> PriceCheckReport:
+    prices = {"a": 100.0, "b": 130.0 if varied else 100.0}
+    return PriceCheckReport(
+        check_id=f"{url}@{day}", url=url, domain=domain, day_index=day,
+        timestamp=day * 86400.0,
+        observations=[obs(v, p) for v, p in prices.items()],
+        guard_threshold=1.01,
+    )
+
+
+class TestDailyExtent:
+    def test_per_day_fractions(self):
+        reports = [
+            report("d", "http://d/p1", 0, varied=True),
+            report("d", "http://d/p2", 0, varied=False),
+            report("d", "http://d/p1", 1, varied=True),
+            report("d", "http://d/p2", 1, varied=True),
+        ]
+        extent = daily_extent(reports)
+        assert extent["d"][0] == 0.5
+        assert extent["d"][1] == 1.0
+
+    def test_empty(self):
+        assert daily_extent([]) == {}
+
+
+class TestStability:
+    def test_stable_domain(self):
+        reports = [
+            report("d", f"http://d/p{i}", day, varied=True)
+            for day in range(4) for i in range(5)
+        ]
+        row = extent_stability(reports)["d"]
+        assert row.days == 4
+        assert row.mean_extent == 1.0
+        assert row.max_daily_delta == 0.0
+        assert row.is_stable
+
+    def test_unstable_domain(self):
+        reports = (
+            [report("d", f"http://d/p{i}", 0, varied=True) for i in range(4)]
+            + [report("d", f"http://d/p{i}", 1, varied=False) for i in range(4)]
+        )
+        row = extent_stability(reports)["d"]
+        assert row.max_daily_delta == 1.0
+        assert not row.is_stable
+
+    def test_single_day_is_trivially_stable(self):
+        reports = [report("d", "http://d/p1", 0, varied=True)]
+        assert extent_stability(reports)["d"].is_stable
+
+
+class TestPersistence:
+    def test_fully_persistent(self):
+        reports = [
+            report("d", "http://d/p1", day, varied=True) for day in range(3)
+        ]
+        assert product_persistence(reports)["d"] == 1.0
+
+    def test_fluke_product_reduces_persistence(self):
+        reports = (
+            [report("d", "http://d/steady", day, varied=True) for day in range(3)]
+            + [report("d", "http://d/fluke", 0, varied=True)]
+            + [report("d", "http://d/fluke", day, varied=False) for day in (1, 2)]
+        )
+        assert product_persistence(reports)["d"] == 0.5
+
+    def test_never_varying_products_excluded(self):
+        reports = [
+            report("d", "http://d/flat", day, varied=False) for day in range(3)
+        ]
+        assert "d" not in product_persistence(reports)
+
+    def test_single_day_products_excluded(self):
+        reports = [report("d", "http://d/once", 0, varied=True)]
+        assert "d" not in product_persistence(reports)
+
+    def test_min_days_validated(self):
+        with pytest.raises(ValueError):
+            product_persistence([], min_days=1)
+
+
+class TestOnRealCrawl:
+    def test_crawled_world_is_persistent(self, tiny_ctx):
+        """The simulated discriminators are deterministic per day, so
+        persistence must be essentially total for pure-geo retailers."""
+        persistence = product_persistence(tiny_ctx.crawl_clean.kept)
+        assert persistence.get("www.digitalrev.com", 0.0) == 1.0
+        assert persistence.get("store.killah.com", 0.0) == 1.0
+        stability = extent_stability(tiny_ctx.crawl_clean.kept)
+        assert stability["www.digitalrev.com"].is_stable

@@ -1,0 +1,102 @@
+"""Persona/login experiment and tracker-census tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.personal import (
+    derive_anchor_for_domain,
+    login_experiment,
+    persona_experiment,
+)
+from repro.analysis.thirdparty import tracker_presence, trackers_on_page
+from repro.core.store import PageStore
+from repro.ecommerce.thirdparty import TRACKER_CENSUS
+
+
+class TestPersonaExperiment:
+    def test_null_result(self, fresh_world):
+        """Affluent vs budget personas see identical prices (§4.4)."""
+        comparisons = persona_experiment(
+            fresh_world,
+            domains=["www.digitalrev.com", "www.guess.eu", "www.kobobooks.com"],
+            products_per_domain=3,
+        )
+        assert len(comparisons) == 9
+        assert all(c.affluent_price is not None for c in comparisons)
+        assert not [c for c in comparisons if c.differs]
+
+    def test_null_result_with_ab_noise_retailer(self, fresh_world):
+        """Repeated measurement suppresses hotels.com's A/B noise."""
+        comparisons = persona_experiment(
+            fresh_world, domains=["www.hotels.com"], products_per_domain=4
+        )
+        assert not [c for c in comparisons if c.differs]
+
+
+class TestLoginExperiment:
+    def test_fig10_shape(self, fresh_world):
+        study = login_experiment(fresh_world, n_products=8)
+        assert set(study.series) == {"W/o login", "User A", "User B", "User C"}
+        assert all(len(v) == len(study.product_urls) for v in study.series.values())
+        # Identity-keyed pricing: at least one product differs across identities.
+        assert study.products_with_identity_differences() >= 1
+
+    def test_prices_are_positive(self, fresh_world):
+        study = login_experiment(fresh_world, n_products=5)
+        for values in study.series.values():
+            assert all(v is None or v > 0 for v in values)
+
+    def test_rejects_loginless_domain(self, fresh_world):
+        with pytest.raises(ValueError):
+            login_experiment(fresh_world, domain="www.digitalrev.com")
+
+    def test_mean_price_requires_data(self, fresh_world):
+        study = login_experiment(fresh_world, n_products=5)
+        assert study.mean_price("User A") > 0
+
+    def test_anchor_helper(self, fresh_world):
+        anchor = derive_anchor_for_domain(fresh_world, "www.amazon.com")
+        assert anchor.selector or anchor.node_path
+
+
+class TestTrackerScan:
+    def test_trackers_on_page_finds_scripts(self):
+        html = (
+            "<html><head>"
+            "<script src='http://www.google-analytics.com/embed.js'></script>"
+            "</head><body>"
+            "<div class='widget widget-x' data-src='assets.pinterest.com'></div>"
+            "</body></html>"
+        )
+        hosts = trackers_on_page(html)
+        assert "www.google-analytics.com" in hosts
+        assert "assets.pinterest.com" in hosts
+
+    def test_ignores_first_party_and_garbage(self):
+        html = "<script src='/local.js'></script><script src='::bad::'></script>"
+        assert trackers_on_page(html) == set()
+
+    def test_census_over_store(self, tiny_world, tiny_backend):
+        from repro.core.backend import CheckRequest
+
+        domains = tiny_world.crawled_domains[:8]
+        for domain in domains:
+            anchor = derive_anchor_for_domain(tiny_world, domain)
+            product = tiny_world.retailer(domain).catalog.products[0]
+            tiny_backend.check(
+                CheckRequest(url=f"http://{domain}{product.path}", anchor=anchor)
+            )
+        census = tracker_presence(tiny_backend.store, domains=domains)
+        assert census.n_domains == len(domains)
+        assert 0.0 <= min(census.presence.values())
+        assert max(census.presence.values()) <= 1.0
+        # Measured presence must agree with the shops' configuration.
+        for domain in domains:
+            configured = {t.name for t in tiny_world.retailer(domain).trackers}
+            assert set(census.per_domain[domain]) == configured
+
+    def test_census_empty_store(self):
+        census = tracker_presence(PageStore())
+        assert census.n_domains == 0
+        assert all(v == 0.0 for v in census.presence.values())

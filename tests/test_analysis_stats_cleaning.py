@@ -1,0 +1,179 @@
+"""Statistics helpers and cleaning-stage tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+
+from repro.analysis.cleaning import clean_reports, dataset_guard, repeatable_products
+from repro.analysis.stats import BoxStats, percentile
+from repro.core.reports import PriceCheckReport, VantageObservation
+from repro.fx.rates import RateService
+
+
+def obs(vantage: str, usd: float, *, currency: str = "USD",
+        country: str = "US", ok: bool = True) -> VantageObservation:
+    return VantageObservation(
+        vantage=vantage, country_code=country, city="", ok=ok,
+        raw_text=f"${usd}", amount=usd, currency=currency,
+        usd=usd if ok else None,
+    )
+
+
+def report(prices: dict[str, float], *, day: int = 0, url: str = "http://d/p",
+           guard: float = 1.0, currency: str = "USD") -> PriceCheckReport:
+    return PriceCheckReport(
+        check_id="c", url=url, domain="d", day_index=day, timestamp=0.0,
+        observations=[obs(v, p, currency=currency) for v, p in prices.items()],
+        guard_threshold=guard,
+    )
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+
+    def test_median_even(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_bounds(self):
+        values = [3, 1, 4, 1, 5]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 5
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(
+        values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                        max_size=50),
+        q=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_numpy(self, values, q):
+        ours = percentile(values, q)
+        theirs = float(np.percentile(values, q))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        stats = BoxStats.from_values([1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert stats.median == 5
+        assert stats.q25 == 3
+        assert stats.q75 == 7
+        assert stats.n == 9
+
+    def test_whiskers_exclude_outliers(self):
+        values = [10, 11, 12, 13, 14, 100]
+        stats = BoxStats.from_values(values)
+        assert stats.whisker_high < 100
+        assert stats.maximum == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_values([])
+
+    def test_as_row(self):
+        row = BoxStats.from_values([1.0, 2.0]).as_row()
+        assert set(row) == {
+            "n", "median", "q25", "q75", "whisker_low", "whisker_high",
+            "min", "max",
+        }
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants(self, values):
+        stats = BoxStats.from_values(values)
+        assert stats.minimum <= stats.whisker_low <= stats.q25 <= stats.median
+        assert stats.median <= stats.q75 <= stats.whisker_high <= stats.maximum
+
+
+class TestDatasetGuard:
+    def test_usd_only(self):
+        reports = [report({"a": 10, "b": 10})]
+        assert dataset_guard(RateService(), reports) == 1.0
+
+    def test_foreign_currency_widens(self):
+        reports = [report({"a": 10, "b": 10}, currency="EUR")]
+        assert dataset_guard(RateService(), reports) > 1.0
+
+    def test_more_days_never_narrower(self):
+        service = RateService()
+        one_day = [report({"a": 1, "b": 1}, currency="EUR", day=0)]
+        week = one_day + [
+            report({"a": 1, "b": 1}, currency="EUR", day=d) for d in range(1, 7)
+        ]
+        assert dataset_guard(service, week) >= dataset_guard(service, one_day)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_guard(RateService(), [])
+
+
+class TestCleanReports:
+    def test_guard_rewritten(self):
+        reports = [report({"a": 10, "b": 11}, currency="EUR")]
+        result = clean_reports(reports, RateService())
+        assert result.n_kept == 1
+        assert result.kept[0].guard_threshold == result.guard
+        assert result.guard > 1.0
+
+    def test_too_few_observations_dropped(self):
+        reports = [report({"a": 10})]
+        result = clean_reports(reports, RateService())
+        assert result.n_kept == 0
+        assert result.dropped["too-few-observations"] == 1
+
+    def test_small_variation_suppressed_by_guard(self):
+        # 0.2% gap in EUR data: below even the narrowest intraday spread
+        # the rate model can produce, so always inside the guard.
+        reports = [report({"a": 100.0, "b": 100.2}, currency="EUR")]
+        result = clean_reports(reports, RateService())
+        assert result.n_kept == 1
+        assert not result.kept[0].has_variation
+
+    def test_large_variation_survives_guard(self):
+        reports = [report({"a": 100.0, "b": 125.0}, currency="EUR")]
+        result = clean_reports(reports, RateService())
+        assert result.kept[0].has_variation
+
+    def test_empty_ok(self):
+        result = clean_reports([], RateService())
+        assert result.n_kept == 0 and result.n_dropped == 0
+
+
+class TestRepeatability:
+    def _rounds(self, url: str, varied_flags: list[bool]) -> list[PriceCheckReport]:
+        out = []
+        for day, varied in enumerate(varied_flags):
+            prices = {"a": 100.0, "b": 130.0 if varied else 100.0}
+            out.append(report(prices, day=day, url=url))
+        return out
+
+    def test_consistent_product_is_repeatable(self):
+        reports = self._rounds("http://d/p1", [True, True, True])
+        assert repeatable_products(reports, guard=1.01) == {"http://d/p1"}
+
+    def test_one_off_fluke_not_repeatable(self):
+        reports = self._rounds("http://d/p1", [True, False, False, False])
+        assert repeatable_products(reports, guard=1.01) == set()
+
+    def test_single_measurement_passes(self):
+        reports = self._rounds("http://d/p1", [True])
+        assert repeatable_products(reports, guard=1.01) == {"http://d/p1"}
+
+    def test_clean_with_repeatability_drops_flukes(self):
+        fluke = self._rounds("http://d/fluke", [True, False, False, False])
+        steady = self._rounds("http://d/steady", [True, True, True, True])
+        result = clean_reports(
+            fluke + steady, RateService(), require_repeatable=True
+        )
+        kept_urls = {r.url for r in result.kept if r.has_variation}
+        assert kept_urls == {"http://d/steady"}
+        assert result.dropped["not-repeatable"] == 1

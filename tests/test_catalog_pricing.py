@@ -1,0 +1,313 @@
+"""Catalog generation and pricing-policy tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecommerce.catalog import (
+    CATEGORY_PRICE_BANDS,
+    Catalog,
+    Product,
+    generate_catalog,
+)
+from repro.ecommerce.pricing import (
+    ABTestNoise,
+    CategoryDispatch,
+    CityMultiplicative,
+    DampedGeoMultiplicative,
+    GeoAdditive,
+    GeoMultiplicative,
+    GeoMultiplyAdd,
+    IdentityKeyed,
+    PricingContext,
+    TemporalDrift,
+    UniformPricing,
+    coverage_includes,
+)
+
+
+def ctx(**kwargs) -> PricingContext:
+    defaults = dict(country_code="US", city="Boston", day_index=0)
+    defaults.update(kwargs)
+    return PricingContext(**defaults)
+
+
+def product(price: float = 100.0, sku: str = "SKU1", category: str = "books") -> Product:
+    return Product(sku=sku, name="Thing", category=category,
+                   base_price_usd=price, path=f"/product/{sku}")
+
+
+class TestCatalog:
+    def test_generation_deterministic(self):
+        a = generate_catalog("shop.example", "books", 20, seed=5)
+        b = generate_catalog("shop.example", "books", 20, seed=5)
+        assert [(p.sku, p.base_price_usd) for p in a] == [
+            (p.sku, p.base_price_usd) for p in b
+        ]
+
+    def test_seed_changes_prices(self):
+        a = generate_catalog("shop.example", "books", 20, seed=5)
+        b = generate_catalog("shop.example", "books", 20, seed=6)
+        assert [p.base_price_usd for p in a] != [p.base_price_usd for p in b]
+
+    def test_prices_inside_band(self):
+        low, high = CATEGORY_PRICE_BANDS["photography"]
+        catalog = generate_catalog("shop.example", "photography", 200, seed=1)
+        for item in catalog:
+            assert low * 0.9 <= item.base_price_usd <= high * 1.01
+
+    def test_unique_skus_and_paths(self):
+        catalog = generate_catalog("shop.example", "books", 100, seed=1)
+        assert len({p.sku for p in catalog}) == 100
+        assert len({p.path for p in catalog}) == 100
+
+    def test_lookup_by_sku_and_path(self):
+        catalog = generate_catalog("shop.example", "books", 5, seed=1)
+        item = catalog.products[3]
+        assert catalog.by_sku(item.sku) is item
+        assert catalog.by_path(item.path) is item
+        assert catalog.by_sku("missing") is None
+
+    @pytest.mark.parametrize("style,prefix", [
+        ("product", "/product/"), ("p-html", "/p/"),
+        ("item-query", "/item/"), ("deep", "/shop/catalog/"),
+    ])
+    def test_path_styles(self, style, prefix):
+        catalog = generate_catalog("s.x", "books", 3, seed=1, path_style=style)
+        assert all(p.path.startswith(prefix) for p in catalog)
+
+    def test_bad_path_style(self):
+        with pytest.raises(ValueError):
+            generate_catalog("s.x", "books", 1, seed=1, path_style="weird")
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            generate_catalog("s.x", "vaporware", 1, seed=1)
+
+    def test_merge_with_prefix(self):
+        catalog = generate_catalog("s.x", "department", 10, seed=1)
+        generate_catalog("s.x", "ebooks", 5, seed=1, sku_prefix="KND", into=catalog)
+        assert len(catalog) == 15
+        assert sum(1 for p in catalog if p.sku.startswith("KND")) == 5
+
+    def test_duplicate_sku_rejected(self):
+        catalog = Catalog(retailer="s.x")
+        catalog.add(product(sku="A"))
+        with pytest.raises(ValueError):
+            catalog.add(product(sku="A"))
+
+    def test_sample_bounds(self):
+        import random
+        catalog = generate_catalog("s.x", "books", 10, seed=1)
+        rng = random.Random(0)
+        assert len(catalog.sample(3, rng=rng)) == 3
+        assert len(catalog.sample(99, rng=rng)) == 10
+
+    def test_product_validation(self):
+        with pytest.raises(ValueError):
+            Product("S", "N", "books", 0.0, "/p/S")
+        with pytest.raises(ValueError):
+            Product("S", "N", "books", 1.0, "no-slash")
+
+
+class TestCoverage:
+    def test_extremes(self):
+        assert coverage_includes(product(), 1.0, seed=0)
+        assert not coverage_includes(product(), 0.0, seed=0)
+
+    def test_stable_per_product(self):
+        item = product(sku="X9")
+        first = coverage_includes(item, 0.5, seed=3)
+        assert all(coverage_includes(item, 0.5, seed=3) == first for _ in range(5))
+
+    def test_fraction_approximates(self):
+        items = [product(sku=f"S{i}") for i in range(600)]
+        covered = sum(coverage_includes(p, 0.3, seed=1) for p in items)
+        assert 0.22 * 600 < covered < 0.38 * 600
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            coverage_includes(product(), 1.5, seed=0)
+
+
+class TestGeoPolicies:
+    def test_uniform(self):
+        assert UniformPricing().price(product(50), ctx()) == 50
+        assert UniformPricing(margin=1.1).price(product(50), ctx()) == pytest.approx(55)
+
+    def test_multiplicative_table(self):
+        policy = GeoMultiplicative(table={"FI": 1.3, "US": 1.0}, default=1.1)
+        assert policy.price(product(100), ctx(country_code="FI")) == pytest.approx(130)
+        assert policy.price(product(100), ctx(country_code="US")) == pytest.approx(100)
+        assert policy.price(product(100), ctx(country_code="JP")) == pytest.approx(110)
+
+    def test_multiplicative_coverage_exempts(self):
+        policy = GeoMultiplicative(table={"FI": 2.0}, coverage=0.0)
+        assert policy.price(product(100), ctx(country_code="FI")) == 100
+
+    def test_additive(self):
+        policy = GeoAdditive(table={"FI": 10.0}, default=0.0)
+        assert policy.price(product(5), ctx(country_code="FI")) == 15
+        assert policy.price(product(5), ctx(country_code="US")) == 5
+
+    def test_additive_per_product_scale(self):
+        policy = GeoAdditive(
+            table={"FI": 10.0}, per_product_scale=(0.5, 2.0), seed=1
+        )
+        prices = {
+            policy.price(product(100, sku=f"S{i}"), ctx(country_code="FI"))
+            for i in range(20)
+        }
+        assert len(prices) > 5  # per-product variation
+        assert all(105 <= p <= 120 for p in prices)
+
+    def test_additive_scale_validation(self):
+        with pytest.raises(ValueError):
+            GeoAdditive(table={}, per_product_scale=(2.0, 1.0))
+
+    def test_multiply_add(self):
+        policy = GeoMultiplyAdd(
+            mult_table={"FI": 1.15}, add_table={"US": 6.0}
+        )
+        assert policy.price(product(20), ctx(country_code="FI")) == pytest.approx(23)
+        assert policy.price(product(20), ctx(country_code="US")) == pytest.approx(26)
+        assert policy.price(product(20), ctx(country_code="DE")) == pytest.approx(20)
+
+    def test_damped_full_below_knee(self):
+        policy = DampedGeoMultiplicative(
+            table={"FI": 1.4}, knee=1000, ceiling=2000, floor_fraction=0.5
+        )
+        assert policy.price(product(500), ctx(country_code="FI")) == pytest.approx(700)
+
+    def test_damped_floor_above_ceiling(self):
+        policy = DampedGeoMultiplicative(
+            table={"FI": 1.4}, knee=1000, ceiling=2000, floor_fraction=0.5
+        )
+        # multiplier shrinks to 1 + 0.4*0.5 = 1.2
+        assert policy.price(product(4000), ctx(country_code="FI")) == pytest.approx(4800)
+
+    def test_damped_interpolates(self):
+        policy = DampedGeoMultiplicative(
+            table={"FI": 1.4}, knee=1000, ceiling=2000, floor_fraction=0.5
+        )
+        mid = policy.price(product(1500), ctx(country_code="FI"))
+        assert 1500 * 1.2 < mid < 1500 * 1.4
+
+    def test_damped_validation(self):
+        with pytest.raises(ValueError):
+            DampedGeoMultiplicative(table={}, knee=100, ceiling=50)
+
+
+class TestCityPolicy:
+    def test_city_table(self):
+        policy = CityMultiplicative(table={"New York": 1.12, "Chicago": 1.0})
+        assert policy.price(product(100), ctx(city="New York")) == pytest.approx(112)
+        assert policy.price(product(100), ctx(city="Chicago")) == pytest.approx(100)
+        assert policy.price(product(100), ctx(city="Berlin")) == pytest.approx(100)
+
+    def test_noisy_city_mixed_per_product(self):
+        policy = CityMultiplicative(
+            table={"Lincoln": 1.0, "Boston": 1.0},
+            noisy_cities=frozenset({"Lincoln"}),
+            noise_amplitude=0.05,
+            seed=2,
+        )
+        diffs = []
+        for i in range(40):
+            item = product(100, sku=f"S{i}")
+            lincoln = policy.price(item, ctx(city="Lincoln"))
+            boston = policy.price(item, ctx(city="Boston"))
+            diffs.append(lincoln - boston)
+        assert any(d > 0 for d in diffs) and any(d < 0 for d in diffs)
+
+    def test_noise_stable_per_product_city(self):
+        policy = CityMultiplicative(
+            table={}, noisy_cities=frozenset({"Lincoln"}),
+            noise_amplitude=0.05, seed=2,
+        )
+        item = product(sku="S")
+        assert policy.price(item, ctx(city="Lincoln")) == policy.price(
+            item, ctx(city="Lincoln")
+        )
+
+
+class TestIdentityAndNoise:
+    def test_identity_keyed_varies_by_identity(self):
+        policy = IdentityKeyed(multipliers=(0.8, 1.0, 1.2), seed=1)
+        item = product(10)
+        prices = {
+            policy.price(item, ctx(identity=f"user{i}")) for i in range(12)
+        }
+        assert len(prices) > 1
+        assert prices <= {8.0, 10.0, 12.0}
+
+    def test_identity_keyed_stable(self):
+        policy = IdentityKeyed(seed=1)
+        item = product(10)
+        assert policy.price(item, ctx(identity="alice")) == policy.price(
+            item, ctx(identity="alice")
+        )
+
+    def test_identity_keyed_anonymous_default(self):
+        policy = IdentityKeyed(seed=1)
+        assert policy.price(product(10), ctx()) == policy.price(product(10), ctx())
+
+    def test_identity_keyed_needs_points(self):
+        with pytest.raises(ValueError):
+            IdentityKeyed(multipliers=())
+
+    def test_ab_noise_fraction(self):
+        policy = ABTestNoise(UniformPricing(), amplitude=0.1, fraction=0.5, seed=1)
+        item = product(100)
+        bumped = sum(
+            policy.price(item, ctx(nonce=i)) > 100 for i in range(400)
+        )
+        assert 120 < bumped < 280
+
+    def test_ab_noise_off(self):
+        policy = ABTestNoise(UniformPricing(), amplitude=0.0, fraction=1.0)
+        assert policy.price(product(100), ctx(nonce=1)) == 100
+
+    def test_ab_fraction_validated(self):
+        with pytest.raises(ValueError):
+            ABTestNoise(UniformPricing(), fraction=1.5)
+
+    def test_temporal_drift_by_day(self):
+        policy = TemporalDrift(UniformPricing(), amplitude=0.05, seed=1)
+        item = product(100)
+        day0 = policy.price(item, ctx(day_index=0))
+        day1 = policy.price(item, ctx(day_index=1))
+        assert day0 != day1
+        assert policy.price(item, ctx(day_index=0)) == day0
+        assert 95 <= day0 <= 105
+
+    def test_dispatch_routes_by_category(self):
+        policy = CategoryDispatch(
+            routes={"ebooks": UniformPricing(margin=2.0)},
+            default=UniformPricing(),
+        )
+        assert policy.price(product(10, category="ebooks"), ctx()) == 20
+        assert policy.price(product(10, category="books"), ctx()) == 10
+
+
+@given(
+    price=st.floats(min_value=1.0, max_value=10000.0),
+    country=st.sampled_from(["US", "FI", "DE", "BR", "GB", "JP"]),
+    day=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_policies_always_positive_property(price, country, day):
+    """No policy composition may ever produce a non-positive price."""
+    inner = DampedGeoMultiplicative(table={"FI": 1.4, "US": 1.0}, default=1.1)
+    policy = ABTestNoise(
+        TemporalDrift(
+            GeoMultiplyAdd(mult_table={"FI": 1.2}, add_table={"US": 5.0}),
+            amplitude=0.05,
+        ),
+        amplitude=0.05, fraction=0.2,
+    )
+    item = product(round(price, 2), sku=f"P{int(price * 100)}")
+    c = ctx(country_code=country, day_index=day, nonce=day)
+    assert inner.price(item, c) > 0
+    assert policy.price(item, c) > 0

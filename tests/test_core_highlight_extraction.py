@@ -1,0 +1,167 @@
+"""Anchor derivation and selector-guided extraction tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extraction import extract_price, extract_price_from_document
+from repro.core.highlight import AnchorError, PriceAnchor, derive_anchor
+from repro.ecommerce.localization import LOCALES
+from repro.ecommerce.templates import TEMPLATE_FAMILIES
+from repro.htmlmodel.parser import parse_html
+from repro.htmlmodel.selectors import Selector, select_one
+from repro.htmlmodel.serialize import to_html
+
+SIMPLE = """
+<html><body>
+  <div id="main">
+    <span id="the-price" class="price">$10.00</span>
+    <span class="price">$2.00</span>
+  </div>
+  <div class="box"><em class="note">hi</em></div>
+</body></html>
+"""
+
+
+class TestDeriveAnchor:
+    def test_prefers_id(self):
+        doc = parse_html(SIMPLE)
+        el = select_one(doc, "#the-price")
+        anchor = derive_anchor(doc, el)
+        assert anchor.selector == "#the-price"
+        assert anchor.sample_text == "$10.00"
+
+    def test_class_chain_when_no_id(self):
+        doc = parse_html(SIMPLE)
+        el = select_one(doc, "em.note")
+        anchor = derive_anchor(doc, el)
+        assert anchor.selector is not None
+        matches = Selector.parse(anchor.selector).select(doc)
+        assert matches == [el]
+
+    def test_nth_of_type_for_twins(self):
+        html = "<div><span class=p>$1</span><span class=p>$2</span></div>"
+        doc = parse_html(html)
+        second = doc.child_elements()[0].child_elements()[1]
+        anchor = derive_anchor(doc, second)
+        assert anchor.selector is not None
+        matches = Selector.parse(anchor.selector).select(doc)
+        assert matches == [second]
+
+    def test_node_path_always_present(self):
+        doc = parse_html(SIMPLE)
+        el = select_one(doc, "#the-price")
+        anchor = derive_anchor(doc, el)
+        resolved = doc.find_by_path(
+            __import__("repro.htmlmodel.dom", fromlist=["NodePath"]).NodePath.parse(
+                anchor.node_path
+            )
+        )
+        assert resolved is el
+
+    def test_foreign_element_rejected(self):
+        doc_a = parse_html(SIMPLE)
+        doc_b = parse_html(SIMPLE)
+        el_b = select_one(doc_b, "#the-price")
+        with pytest.raises(AnchorError):
+            derive_anchor(doc_a, el_b)
+
+    @pytest.mark.parametrize("template", TEMPLATE_FAMILIES, ids=lambda t: t.name)
+    def test_template_prices_anchorable(self, template):
+        """Every template family yields a unique, transferable anchor."""
+        from tests.test_templates_retailer import make_view
+
+        doc = template.render(make_view())
+        price = select_one(doc, template.price_selector)
+        anchor = derive_anchor(doc, price)
+        assert anchor.selector is not None
+        # Re-render with different structure seed (different promo banners)
+        # and a different displayed price: anchor must still land on it.
+        doc2 = template.render(
+            make_view(template_seed=99, price_text="1 234,56 €")
+        )
+        extracted = extract_price_from_document(doc2, anchor)
+        assert extracted.ok
+        assert extracted.amount == pytest.approx(1234.56)
+        assert extracted.currency == "EUR"
+
+
+class TestExtraction:
+    def _anchor(self) -> PriceAnchor:
+        doc = parse_html(SIMPLE)
+        return derive_anchor(doc, select_one(doc, "#the-price"))
+
+    def test_extract_via_selector(self):
+        extracted = extract_price(SIMPLE, self._anchor())
+        assert extracted.ok
+        assert extracted.method == "selector"
+        assert extracted.amount == 10.0
+        assert extracted.currency == "USD"
+
+    def test_fallback_to_node_path(self):
+        anchor = self._anchor()
+        # Break the selector: page without the id.
+        page = SIMPLE.replace('id="the-price" ', "")
+        broken = PriceAnchor(
+            selector="#the-price", node_path=anchor.node_path, sample_text="$10"
+        )
+        extracted = extract_price(page, broken)
+        assert extracted.ok
+        assert extracted.method == "node-path"
+        assert extracted.amount == 10.0
+
+    def test_ambiguous_selector_resolved_by_path(self):
+        page = """
+        <html><body>
+          <div><span class="price">$1.00</span></div>
+          <div><span class="price">$2.00</span></div>
+        </body></html>
+        """
+        doc = parse_html(page)
+        target = doc.child_elements()[0].child_elements()[0].child_elements()[1].child_elements()[0]
+        assert target.text() == "$2.00"
+        anchor = PriceAnchor(
+            selector="span.price",
+            node_path=str(target.node_path()),
+            sample_text="$2.00",
+        )
+        extracted = extract_price(page, anchor)
+        assert extracted.ok
+        assert extracted.amount == 2.0
+
+    def test_anchor_matches_nothing(self):
+        anchor = PriceAnchor(selector="#gone", node_path="/9/9/9", sample_text="")
+        extracted = extract_price(SIMPLE, anchor)
+        assert not extracted.ok
+        assert "anchor" in extracted.error
+
+    def test_empty_node(self):
+        page = "<div><span id='p'></span></div>"
+        anchor = PriceAnchor(selector="#p", node_path="/0/0", sample_text="")
+        extracted = extract_price(page, anchor)
+        assert not extracted.ok
+        assert "empty" in extracted.error
+
+    def test_unparseable_price_text(self):
+        page = "<div><span id='p'>call for price</span></div>"
+        anchor = PriceAnchor(selector="#p", node_path="/0/0", sample_text="")
+        extracted = extract_price(page, anchor)
+        assert not extracted.ok
+        assert "unparseable" in extracted.error
+
+    def test_locale_hint_used(self):
+        page = "<div><span id='p'>0,999</span></div>"
+        anchor = PriceAnchor(selector="#p", node_path="/0/0", sample_text="")
+        hinted = extract_price(page, anchor, locale_hint=LOCALES["DE"])
+        assert hinted.ok
+        assert hinted.amount == pytest.approx(0.999)
+
+    def test_invalid_selector_in_anchor_falls_back(self):
+        doc = parse_html(SIMPLE)
+        el = select_one(doc, "#the-price")
+        anchor = PriceAnchor(
+            selector="[[[", node_path=str(el.node_path()), sample_text="$10.00"
+        )
+        extracted = extract_price(SIMPLE, anchor)
+        assert extracted.ok
+        assert extracted.method == "node-path"

@@ -1,0 +1,100 @@
+"""PriceCheckReport invariants, including property-based checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reports import PriceCheckReport, VantageObservation
+
+
+def obs(vantage: str, usd: float | None, *, ok: bool = True) -> VantageObservation:
+    return VantageObservation(
+        vantage=vantage, country_code="US", city="", ok=ok,
+        raw_text="" if usd is None else f"${usd}",
+        amount=usd, currency="USD" if usd is not None else None, usd=usd,
+    )
+
+
+def make(prices: list[float | None], *, guard: float = 1.0) -> PriceCheckReport:
+    observations = []
+    for index, price in enumerate(prices):
+        if price is None:
+            observations.append(
+                VantageObservation(vantage=f"v{index}", country_code="US",
+                                   city="", ok=False, error="x")
+            )
+        else:
+            observations.append(obs(f"v{index}", price))
+    return PriceCheckReport(
+        check_id="c", url="http://d/p", domain="d", day_index=0,
+        timestamp=0.0, observations=observations, guard_threshold=guard,
+    )
+
+
+class TestBasics:
+    def test_min_max_ratio(self):
+        report = make([10.0, 12.0, 11.0])
+        assert report.min_usd == 10.0
+        assert report.max_usd == 12.0
+        assert report.ratio == pytest.approx(1.2)
+
+    def test_failed_observations_ignored(self):
+        report = make([10.0, None, 13.0])
+        assert len(report.valid_observations()) == 2
+        assert report.ratio == pytest.approx(1.3)
+
+    def test_single_point_no_ratio(self):
+        report = make([10.0])
+        assert report.ratio is None
+        assert not report.has_variation
+
+    def test_all_failed(self):
+        report = make([None, None])
+        assert report.min_usd is None
+        assert report.ratio is None
+
+    def test_guard_strictness(self):
+        at_guard = make([100.0, 102.0], guard=1.02)
+        assert not at_guard.has_variation  # strictly greater required
+        above = make([100.0, 102.1], guard=1.02)
+        assert above.has_variation
+
+    def test_observation_for(self):
+        report = make([10.0, 11.0])
+        assert report.observation_for("v1").usd == 11.0
+        assert report.observation_for("nope") is None
+
+    def test_ratios_by_vantage(self):
+        report = make([10.0, 12.5])
+        ratios = report.ratios_by_vantage()
+        assert ratios == {"v0": 1.0, "v1": 1.25}
+
+    def test_summary_line_states(self):
+        assert "not enough data" in make([10.0]).summary_line()
+        assert "VARIATION" in make([10.0, 13.0], guard=1.01).summary_line()
+        assert "uniform" in make([10.0, 10.0], guard=1.01).summary_line()
+
+    def test_observation_validation(self):
+        with pytest.raises(ValueError):
+            VantageObservation(vantage="v", country_code="US", city="", ok=True)
+
+
+@given(
+    prices=st.lists(st.floats(min_value=0.01, max_value=1e5),
+                    min_size=2, max_size=14),
+    guard=st.floats(min_value=1.0, max_value=1.1),
+)
+@settings(max_examples=150, deadline=None)
+def test_report_invariants_property(prices, guard):
+    """For any observation set: min <= max, ratio >= 1, every per-vantage
+    ratio in [1, ratio], and the guard verdict consistent with the ratio."""
+    report = make(list(prices), guard=guard)
+    assert report.min_usd <= report.max_usd
+    ratio = report.ratio
+    assert ratio >= 1.0
+    by_vantage = report.ratios_by_vantage()
+    assert len(by_vantage) == len(prices)
+    for value in by_vantage.values():
+        assert 1.0 - 1e-12 <= value <= ratio + 1e-9
+    assert report.has_variation == (ratio > guard)

@@ -1,0 +1,117 @@
+"""Integration tests: the figure experiments at tiny scale.
+
+These run the full pipeline (world -> crowd campaign -> crawl -> analysis)
+once per session and assert every figure's *robust* shape checks.  Checks
+known to need larger samples (annotated in each module) are exempted at
+tiny scale but asserted to exist.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import FigureResult
+from repro.experiments.context import SCALES, ExperimentContext
+
+#: Checks that need quick/paper-scale samples to be reliable; everything
+#: else must pass even at tiny scale.
+SCALE_SENSITIVE = {
+    ("FIG5", "cheap products show the largest ratios (towards x3)"),
+    ("FIG5", "mid-range reaches beyond x1.5"),
+    ("FIG7", "US boxes sit below continental-Europe boxes (q75)"),
+    ("FIG7", "Brazil among the cheapest locations (q75 below Europe's)"),
+    ("FIG8", "homedepot: Boston-Lincoln leans both ways (mixed pair)"),
+    ("FIG8", "amazon: Germany and Spain mostly equal (same euro price)"),
+    ("FIG8", "amazon: Germany dearer than USA for most products"),
+    ("FIG1", "counts span an order of magnitude"),
+    ("FIG2", "isolated cases approach x2"),
+}
+
+
+@pytest.fixture(scope="module")
+def results(tiny_ctx) -> list[FigureResult]:
+    return runner.run_all(tiny_ctx)
+
+
+class TestHarness:
+    def test_all_experiments_ran(self, results):
+        assert len(results) == len(runner.ALL_EXPERIMENTS)
+        ids = [r.figure_id for r in results]
+        assert ids == [
+            "FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "FIG8",
+            "FIG9", "FIG10", "TAB-DATA", "TAB-3P", "TAB-ATTR",
+        ]
+
+    def test_every_figure_has_rows_and_checks(self, results):
+        for result in results:
+            assert result.rows, result.figure_id
+            assert result.checks, result.figure_id
+
+    def test_robust_checks_pass_at_tiny_scale(self, results):
+        failures = [
+            (r.figure_id, name)
+            for r in results
+            for name, ok in r.checks.items()
+            if not ok and (r.figure_id, name) not in SCALE_SENSITIVE
+        ]
+        assert not failures
+
+    def test_format_text_renders(self, results):
+        for result in results:
+            text = result.format_text()
+            assert result.figure_id in text
+            assert "paper:" in text
+
+    def test_report_rendering(self, results):
+        report = runner.render_report(results, scale="tiny")
+        assert "shape checks:" in report
+
+
+class TestFigureResult:
+    def test_row_width_enforced(self):
+        result = FigureResult("X", "t", "c", columns=("a", "b"))
+        result.add_row(1, 2)
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_check_registration(self):
+        result = FigureResult("X", "t", "c", columns=("a",))
+        result.check("works", True)
+        result.check("fails", False)
+        assert not result.all_checks_pass
+        assert "[FAIL] fails" in result.format_text()
+
+    def test_row_truncation(self):
+        result = FigureResult("X", "t", "c", columns=("a",))
+        for i in range(50):
+            result.add_row(i)
+        text = result.format_text(max_rows=10)
+        assert "more rows" in text
+
+
+class TestContext:
+    def test_scales_registered(self):
+        assert set(SCALES) == {"tiny", "quick", "paper"}
+        assert SCALES["paper"].crawl_products == 100
+        assert SCALES["paper"].crawl_days == 7
+        assert SCALES["paper"].crowd_checks == 1500
+        assert SCALES["paper"].crowd_population == 340
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentContext("gigantic")
+
+    def test_lazy_shared_objects(self, tiny_ctx):
+        assert tiny_ctx.world is tiny_ctx.world
+        assert tiny_ctx.backend.network is tiny_ctx.world.network
+
+    def test_crawl_uses_paper_retailers(self, tiny_ctx):
+        assert set(tiny_ctx.plan.domains) == set(tiny_ctx.world.crawled_domains)
+
+    def test_clean_views_guarded(self, tiny_ctx):
+        assert tiny_ctx.crawl_clean.guard > 1.0
+        assert all(
+            r.guard_threshold == tiny_ctx.crawl_clean.guard
+            for r in tiny_ctx.crawl_clean.kept
+        )

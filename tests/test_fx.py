@@ -1,0 +1,162 @@
+"""FX substrate tests: currencies, rate series, conversion, the guard."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fx.convert import ConversionError, Converter, max_gap_ratio
+from repro.fx.currencies import CURRENCIES, currency_for_country
+from repro.fx.rates import DailyRate, RateService
+
+
+class TestCurrencies:
+    def test_usd_is_unit(self):
+        assert CURRENCIES["USD"].usd_mid_2013 == 1.0
+
+    def test_country_mapping(self):
+        assert currency_for_country("FI").code == "EUR"
+        assert currency_for_country("GB").code == "GBP"
+        assert currency_for_country("BR").code == "BRL"
+        assert currency_for_country("us").code == "USD"
+
+    def test_unknown_country_defaults_usd(self):
+        assert currency_for_country("ZZ").code == "USD"
+
+
+class TestRateService:
+    def test_deterministic_across_instances(self):
+        a = RateService(seed=42)
+        b = RateService(seed=42)
+        assert a.rate("EUR", 10) == b.rate("EUR", 10)
+
+    def test_query_order_irrelevant(self):
+        a = RateService(seed=1)
+        b = RateService(seed=1)
+        r_a = a.rate("EUR", 30)
+        b.rate("EUR", 5)
+        b.rate("GBP", 12)
+        assert b.rate("EUR", 30) == r_a
+
+    def test_seed_changes_series(self):
+        assert RateService(seed=1).rate("EUR", 5) != RateService(seed=2).rate("EUR", 5)
+
+    def test_usd_always_unity(self):
+        rate = RateService().rate("USD", 123)
+        assert (rate.low, rate.mid, rate.high) == (1.0, 1.0, 1.0)
+
+    def test_low_mid_high_ordering(self):
+        service = RateService()
+        for day in range(0, 200, 17):
+            for code in ("EUR", "GBP", "BRL", "JPY"):
+                rate = service.rate(code, day)
+                assert 0 < rate.low <= rate.mid <= rate.high
+
+    def test_walk_stays_near_anchor(self):
+        service = RateService(seed=7)
+        anchor = CURRENCIES["EUR"].usd_mid_2013
+        for day in (30, 90, 180, 364):
+            mid = service.rate("EUR", day).mid
+            assert 0.7 * anchor < mid < 1.3 * anchor
+
+    def test_unknown_currency(self):
+        with pytest.raises(KeyError):
+            RateService().rate("XXX", 0)
+
+    def test_negative_day(self):
+        with pytest.raises(ValueError):
+            RateService().rate("EUR", -1)
+
+    def test_extremes(self):
+        service = RateService()
+        low, high = service.extremes("EUR", range(10))
+        rates = [service.rate("EUR", d) for d in range(10)]
+        assert low == min(r.low for r in rates)
+        assert high == max(r.high for r in rates)
+
+    def test_extremes_empty(self):
+        with pytest.raises(ValueError):
+            RateService().extremes("EUR", [])
+
+    def test_daily_rate_validation(self):
+        with pytest.raises(ValueError):
+            DailyRate("EUR", 0, low=1.2, mid=1.1, high=1.3)
+
+
+class TestConverter:
+    def test_usd_identity(self):
+        converter = Converter(RateService())
+        assert converter.to_usd(10.0, "USD", 5) == 10.0
+
+    def test_eur_uses_rate(self):
+        service = RateService()
+        converter = Converter(service)
+        rate = service.rate("EUR", 3)
+        assert converter.to_usd(100.0, "EUR", 3) == pytest.approx(100 * rate.mid)
+        assert converter.to_usd(100.0, "EUR", 3, bound="low") == pytest.approx(100 * rate.low)
+
+    def test_usd_range(self):
+        converter = Converter(RateService())
+        low, high = converter.usd_range(100.0, "EUR", 3)
+        assert low < high
+
+    def test_errors(self):
+        converter = Converter(RateService())
+        with pytest.raises(ConversionError):
+            converter.to_usd(-1.0, "EUR", 0)
+        with pytest.raises(ConversionError):
+            converter.to_usd(1.0, "XXX", 0)
+        with pytest.raises(ConversionError):
+            converter.to_usd(1.0, "EUR", 0, bound="median")
+
+
+class TestGuard:
+    def test_usd_only_guard_is_one(self):
+        assert max_gap_ratio(RateService(), ["USD"], [0, 1, 2]) == 1.0
+
+    def test_guard_exceeds_one_with_foreign_currency(self):
+        assert max_gap_ratio(RateService(), ["EUR"], [0]) > 1.0
+
+    def test_guard_monotone_in_days(self):
+        """More days can only widen the extreme-rate gap."""
+        service = RateService()
+        narrow = max_gap_ratio(service, ["EUR", "GBP"], range(3))
+        wide = max_gap_ratio(service, ["EUR", "GBP"], range(30))
+        assert wide >= narrow
+
+    def test_guard_monotone_in_currencies(self):
+        service = RateService()
+        one = max_gap_ratio(service, ["EUR"], range(7))
+        two = max_gap_ratio(service, ["EUR", "BRL"], range(7))
+        assert two >= one
+
+    def test_margin_inflates(self):
+        service = RateService()
+        base = max_gap_ratio(service, ["EUR"], [0])
+        assert max_gap_ratio(service, ["EUR"], [0], margin=0.01) == pytest.approx(base * 1.01)
+
+    def test_unknown_currency_rejected(self):
+        with pytest.raises(ConversionError):
+            max_gap_ratio(RateService(), ["XXX"], [0])
+
+    def test_empty_days_rejected(self):
+        with pytest.raises(ValueError):
+            max_gap_ratio(RateService(), ["EUR"], [])
+
+    @given(
+        days=st.lists(st.integers(min_value=0, max_value=120), min_size=1, max_size=10),
+        amount=st.floats(min_value=0.5, max_value=5000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_guard_bounds_pure_conversion_property(self, days, amount):
+        """Converting one fixed EUR amount on any two dataset days can never
+        produce a USD ratio exceeding the guard -- the paper's soundness
+        property for the currency filter."""
+        service = RateService()
+        converter = Converter(service)
+        guard = max_gap_ratio(service, ["EUR"], days)
+        values = []
+        for day in days:
+            values.append(converter.to_usd(amount, "EUR", day, bound="low"))
+            values.append(converter.to_usd(amount, "EUR", day, bound="high"))
+        assert max(values) / min(values) <= guard * (1 + 1e-12)

@@ -1,0 +1,203 @@
+"""Unit tests for the HTML tokenizer/parser, including recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htmlmodel.dom import Element, Text
+from repro.htmlmodel.parser import HTMLParseError, decode_entities, parse_html
+from repro.htmlmodel.selectors import select_one
+
+
+def first_element(html: str) -> Element:
+    doc = parse_html(html)
+    return next(doc.iter_elements())
+
+
+class TestBasics:
+    def test_single_element(self):
+        el = first_element("<div></div>")
+        assert el.tag == "div"
+        assert not el.children
+
+    def test_nested(self):
+        doc = parse_html("<div><p><b>x</b></p></div>")
+        tags = [e.tag for e in doc.iter_elements()]
+        assert tags == ["div", "p", "b"]
+
+    def test_text_between_tags(self):
+        doc = parse_html("<p>alpha<b>beta</b>gamma</p>")
+        p = first_element("<p>alpha<b>beta</b>gamma</p>")
+        assert p.text() == "alphabetagamma"
+
+    def test_tag_name_case_folded(self):
+        assert first_element("<DiV></dIv>").tag == "div"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(HTMLParseError):
+            parse_html(b"<div>")  # type: ignore[arg-type]
+
+    def test_empty_input(self):
+        assert parse_html("").children == []
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        el = first_element('<a href="/x?a=1&amp;b=2" class="k">t</a>')
+        assert el.get("href") == "/x?a=1&b=2"
+        assert el.get("class") == "k"
+
+    def test_single_quoted_and_unquoted(self):
+        el = first_element("<input type='text' value=abc>")
+        assert el.get("type") == "text"
+        assert el.get("value") == "abc"
+
+    def test_bare_attribute(self):
+        el = first_element("<script src=x async></script>")
+        assert el.get("async") == ""
+
+    def test_attribute_name_case_folded(self):
+        el = first_element('<div DATA-X="1">')
+        assert el.get("data-x") == "1"
+
+    def test_first_attribute_wins_on_duplicate(self):
+        el = first_element('<div id="one" id="two">')
+        assert el.id == "one"
+
+
+class TestVoidAndSelfClosing:
+    @pytest.mark.parametrize("tag", ["br", "img", "input", "meta", "hr", "link"])
+    def test_void_elements_have_no_children(self, tag):
+        doc = parse_html(f"<div><{tag}>after</div>")
+        div = next(doc.iter_elements())
+        void = div.child_elements()[0]
+        assert void.tag == tag
+        assert not void.children
+        assert div.text() == "after"
+
+    def test_self_closing_non_void(self):
+        doc = parse_html("<div><span/>after</div>")
+        div = next(doc.iter_elements())
+        span = div.child_elements()[0]
+        assert not span.children
+        assert div.text() == "after"
+
+    def test_stray_void_end_tag_ignored(self):
+        doc = parse_html("<div></br>text</div>")
+        assert next(doc.iter_elements()).text() == "text"
+
+
+class TestRawText:
+    def test_script_content_not_parsed(self):
+        doc = parse_html("<script>if (a < b) { x(\"<div>\"); }</script>")
+        script = next(doc.iter_elements())
+        assert script.tag == "script"
+        content = script.children[0]
+        assert isinstance(content, Text)
+        assert '<div>' in content.data
+
+    def test_unterminated_script_swallows_rest(self):
+        doc = parse_html("<script>var x = 1;")
+        script = next(doc.iter_elements())
+        assert "var x = 1;" in script.children[0].data
+
+    def test_style_raw(self):
+        doc = parse_html("<style>a > b {}</style><p>x</p>")
+        tags = [e.tag for e in doc.iter_elements()]
+        assert tags == ["style", "p"]
+
+
+class TestCommentsAndDoctype:
+    def test_comment_skipped(self):
+        doc = parse_html("<div><!-- hidden <b>not parsed</b> -->shown</div>")
+        assert next(doc.iter_elements()).text() == "shown"
+
+    def test_doctype_skipped(self):
+        doc = parse_html("<!DOCTYPE html><html></html>")
+        assert [e.tag for e in doc.iter_elements()] == ["html"]
+
+    def test_unterminated_comment(self):
+        doc = parse_html("<div>a</div><!-- runs off the end")
+        assert next(doc.iter_elements()).text() == "a"
+
+
+class TestEntities:
+    @pytest.mark.parametrize(
+        "entity,char",
+        [("&amp;", "&"), ("&lt;", "<"), ("&gt;", ">"), ("&euro;", "€"),
+         ("&pound;", "£"), ("&nbsp;", " "), ("&#8364;", "€"),
+         ("&#xA3;", "£"), ("&#65;", "A")],
+    )
+    def test_known_entities(self, entity, char):
+        assert decode_entities(f"x{entity}y") == f"x{char}y"
+
+    def test_unknown_entity_left_alone(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_out_of_range_numeric(self):
+        assert decode_entities("&#1114112;") == "&#1114112;"
+
+    def test_entities_in_text_nodes(self):
+        doc = parse_html("<p>1&nbsp;234,56&nbsp;&euro;</p>")
+        assert next(doc.iter_elements()).text() == "1 234,56 €"
+
+
+class TestRecovery:
+    def test_unclosed_elements_closed_at_eof(self):
+        doc = parse_html("<div><p>text")
+        div = next(doc.iter_elements())
+        assert div.child_elements()[0].text() == "text"
+
+    def test_stray_end_tag_dropped(self):
+        doc = parse_html("<div></span>text</div>")
+        assert next(doc.iter_elements()).text() == "text"
+
+    def test_li_implies_close(self):
+        doc = parse_html("<ul><li>a<li>b<li>c</ul>")
+        ul = next(doc.iter_elements())
+        items = [li.text() for li in ul.child_elements()]
+        assert items == ["a", "b", "c"]
+
+    def test_p_closed_by_block(self):
+        doc = parse_html("<p>one<div>two</div>")
+        tags = [e.tag for e in doc.iter_elements()]
+        assert tags == ["p", "div"]
+        p, div = doc.child_elements()
+        assert p.text() == "one"
+        assert div.text() == "two"
+
+    def test_mismatched_closes_intermediates(self):
+        doc = parse_html("<div><span><b>x</div>after")
+        div = doc.child_elements()[0]
+        assert div.text() == "x"
+
+    def test_bare_lt_is_text(self):
+        doc = parse_html("<p>1 < 2</p>")
+        assert next(doc.iter_elements()).text() == "1 < 2"
+
+    def test_table_cells_imply_close(self):
+        doc = parse_html("<table><tr><td>a<td>b<tr><td>c</table>")
+        table = next(doc.iter_elements())
+        rows = table.child_elements()
+        assert len(rows) == 2
+        assert [td.text() for td in rows[0].child_elements()] == ["a", "b"]
+
+
+class TestRealisticPage:
+    def test_retailer_like_page(self):
+        html = (
+            "<!DOCTYPE html><html lang=\"en-US\"><head><meta charset=utf-8>"
+            "<title>Shop</title><script src=\"http://t.example/x.js\"></script>"
+            "</head><body class=product-page>"
+            "<div id=product><span id=product-price class=price>$19.99</span></div>"
+            "<section class=recommendations>"
+            "<span class=price>$5.99</span><span class=price>$7.99</span>"
+            "</section></body></html>"
+        )
+        doc = parse_html(html)
+        price = select_one(doc, "#product-price")
+        assert price is not None
+        assert price.text() == "$19.99"
+        decoys = [e for e in doc.iter_elements()
+                  if e.has_class("price") and e.id != "product-price"]
+        assert len(decoys) == 2

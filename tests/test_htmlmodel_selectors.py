@@ -1,0 +1,193 @@
+"""Unit tests for the CSS-subset selector engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htmlmodel.parser import parse_html
+from repro.htmlmodel.selectors import Selector, SelectorError, matches, select, select_one
+
+PAGE = """
+<html><body>
+  <div id="main" class="wrap">
+    <p class="intro big">first</p>
+    <p class="intro">second</p>
+    <div class="box">
+      <span class="price" data-cur="USD">$10</span>
+      <span class="price sale">$8</span>
+    </div>
+    <ul>
+      <li>a</li><li class="hot">b</li><li>c</li>
+    </ul>
+  </div>
+  <div class="box outer"><span class="price">$99</span></div>
+</body></html>
+"""
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_html(PAGE)
+
+
+class TestSimpleSelectors:
+    def test_by_tag(self, doc):
+        assert len(select(doc, "p")) == 2
+
+    def test_universal(self, doc):
+        assert len(select(doc, "*")) == len(list(doc.iter_elements()))
+
+    def test_by_id(self, doc):
+        el = select_one(doc, "#main")
+        assert el is not None and el.tag == "div"
+
+    def test_by_class(self, doc):
+        assert len(select(doc, ".price")) == 3
+
+    def test_stacked_classes(self, doc):
+        els = select(doc, "span.price.sale")
+        assert len(els) == 1
+        assert els[0].text() == "$8"
+
+    def test_tag_and_id(self, doc):
+        assert select_one(doc, "div#main") is select_one(doc, "#main")
+
+    def test_no_match_returns_empty(self, doc):
+        assert select(doc, "#nonexistent") == []
+        assert select_one(doc, "#nonexistent") is None
+
+
+class TestAttributeSelectors:
+    def test_presence(self, doc):
+        assert len(select(doc, "[data-cur]")) == 1
+
+    def test_exact(self, doc):
+        assert select_one(doc, '[data-cur="USD"]').text() == "$10"
+
+    def test_exact_unquoted(self, doc):
+        assert select_one(doc, "[data-cur=USD]") is not None
+
+    def test_prefix_suffix_substring(self, doc):
+        assert select_one(doc, "[data-cur^=US]") is not None
+        assert select_one(doc, "[data-cur$=SD]") is not None
+        assert select_one(doc, "[data-cur*=S]") is not None
+        assert select_one(doc, "[data-cur^=XX]") is None
+
+    def test_word_match(self, doc):
+        assert len(select(doc, "[class~=intro]")) == 2
+
+
+class TestCombinators:
+    def test_descendant(self, doc):
+        assert len(select(doc, "#main .price")) == 2
+
+    def test_child(self, doc):
+        assert len(select(doc, "div.box > span.price")) == 3
+        assert len(select(doc, "#main > .price")) == 0
+
+    def test_adjacent_sibling(self, doc):
+        el = select_one(doc, "p.big + p")
+        assert el.text() == "second"
+
+    def test_adjacent_no_match(self, doc):
+        assert select_one(doc, "ul + p") is None
+
+    def test_chain(self, doc):
+        els = select(doc, "#main div.box > span[data-cur=USD]")
+        assert len(els) == 1
+
+
+class TestPseudo:
+    def test_first_of_type(self, doc):
+        assert select_one(doc, "li:first-of-type").text() == "a"
+
+    def test_nth_of_type(self, doc):
+        assert select_one(doc, "li:nth-of-type(2)").text() == "b"
+        assert select_one(doc, "li:nth-of-type(3)").text() == "c"
+
+    def test_nth_out_of_range(self, doc):
+        assert select_one(doc, "li:nth-of-type(9)") is None
+
+
+class TestExtendedPseudo:
+    SIBLINGS = "<div><p>a</p><span>s1</span><em>e</em><span>s2</span><span>s3</span></div>"
+
+    @pytest.fixture()
+    def sibdoc(self):
+        return parse_html(self.SIBLINGS)
+
+    def test_general_sibling(self, sibdoc):
+        assert [e.text() for e in select(sibdoc, "p ~ span")] == ["s1", "s2", "s3"]
+        assert [e.text() for e in select(sibdoc, "em ~ span")] == ["s2", "s3"]
+
+    def test_general_sibling_no_match(self, sibdoc):
+        assert select(sibdoc, "span ~ p") == []
+
+    def test_last_of_type(self, sibdoc):
+        assert select_one(sibdoc, "span:last-of-type").text() == "s3"
+        assert select_one(sibdoc, "em:last-of-type").text() == "e"
+
+    def test_nth_child(self, sibdoc):
+        assert select_one(sibdoc, "div :nth-child(1)").text() == "a"
+        assert select_one(sibdoc, "div :nth-child(3)").text() == "e"
+        assert select_one(sibdoc, "div :nth-child(9)") is None
+
+    def test_first_child(self, sibdoc):
+        assert select_one(sibdoc, "div :first-child").text() == "a"
+
+    def test_nth_child_validation(self):
+        with pytest.raises(SelectorError):
+            Selector.parse(":nth-child(0)")
+        with pytest.raises(SelectorError):
+            Selector.parse(":nth-child")
+
+
+class TestGroups:
+    def test_comma_groups(self, doc):
+        els = select(doc, "p.big, li.hot")
+        texts = sorted(e.text() for e in els)
+        assert texts == ["b", "first"]
+
+
+class TestMatchesApi:
+    def test_matches(self, doc):
+        el = select_one(doc, "#main")
+        assert matches(el, "div.wrap")
+        assert not matches(el, "span")
+
+    def test_parsed_selector_reuse(self, doc):
+        sel = Selector.parse(".price")
+        assert len(sel.select(doc)) == 3
+        assert str(sel) == ".price"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "  ", ">", "div >", "> div", "div >> p", "[", "[]", "[=x]",
+         ":nth-of-type", "li:nth-of-type(0)", "li:nth-of-type(x)",
+         ":hover", "div p q r["],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SelectorError):
+            Selector.parse(bad)
+
+    def test_double_dot_rejected(self):
+        with pytest.raises(SelectorError):
+            Selector.parse("div#a p..x")
+
+    def test_long_chain_is_valid(self):
+        Selector.parse("div p#x span b#y i")  # must not raise
+
+    def test_trailing_comma_tolerated(self):
+        # Lenient like the rest of the grammar: empty groups are skipped.
+        assert Selector.parse("p,,").select_one(parse_html("<p>x</p>")) is not None
+
+
+class TestDocumentOrder:
+    def test_select_returns_document_order(self, doc):
+        prices = select(doc, ".price")
+        assert [p.text() for p in prices] == ["$10", "$8", "$99"]
+
+    def test_select_one_is_first(self, doc):
+        assert select_one(doc, ".price").text() == "$10"

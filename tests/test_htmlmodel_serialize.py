@@ -1,0 +1,140 @@
+"""Serializer tests, including the parse/serialize round-trip property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.htmlmodel.build import E, T, document
+from repro.htmlmodel.dom import Document, Element, Text
+from repro.htmlmodel.parser import parse_html
+from repro.htmlmodel.serialize import escape_attr, escape_text, to_html
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attr_escapes_quotes(self):
+        assert escape_attr('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestSerialization:
+    def test_simple_roundtrip_text(self):
+        doc = document(E("div", {"id": "x"}, T("hello")))
+        assert to_html(doc) == '<div id="x">hello</div>'
+
+    def test_void_element_no_end_tag(self):
+        assert to_html(E("br")) == "<br>"
+        assert to_html(E("img", {"src": "a.png"})) == '<img src="a.png">'
+
+    def test_empty_attribute(self):
+        assert to_html(E("script", {"async": ""})) == "<script async></script>"
+
+    def test_raw_text_not_escaped(self):
+        script = E("script", None, T("if (a < b) x();"))
+        assert to_html(script) == "<script>if (a < b) x();</script>"
+
+    def test_text_nodes_escaped(self):
+        assert to_html(E("p", None, T("1 < 2 & 3"))) == "<p>1 &lt; 2 &amp; 3</p>"
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            to_html(object())  # type: ignore[arg-type]
+
+
+def _equivalent(a, b) -> bool:
+    """Structural equality of two trees."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Text):
+        return a.data == b.data
+    if isinstance(a, Element):
+        if a.tag != b.tag or a.attrs != b.attrs:
+            return False
+    if len(a.children) != len(b.children):
+        return False
+    return all(_equivalent(x, y) for x, y in zip(a.children, b.children))
+
+
+# Tags that nest freely: no implied-close interactions (putting a <div>
+# inside a <p> would change structure on reparse, as in a real browser).
+_tag = st.sampled_from(["div", "span", "section", "em", "article", "b", "strong"])
+_attr_name = st.sampled_from(["id", "class", "data-x", "title", "href"])
+_attr_value = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=12
+)
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1, max_size=20,
+)
+
+
+def _element(children) -> st.SearchStrategy:
+    return st.builds(
+        lambda tag, attrs, kids: _build(tag, attrs, kids),
+        _tag,
+        st.dictionaries(_attr_name, _attr_value, max_size=3),
+        st.lists(children, max_size=4),
+    )
+
+
+def _build(tag, attrs, kids):
+    el = Element(tag, attrs)
+    for kid in kids:
+        el.append(kid)
+    return el
+
+
+_node = st.recursive(
+    st.builds(Text, _text), _element, max_leaves=20
+)
+
+
+@given(st.lists(_node, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_serialize_parse_roundtrip(children):
+    """to_html . parse_html is the identity on normalized trees.
+
+    Caveats encoded in the normalization: adjacent text nodes merge when
+    reparsed, and attribute whitespace in class lists is preserved.
+    """
+    doc = Document()
+    for child in children:
+        doc.append(child)
+    html = to_html(doc)
+    reparsed = parse_html(html)
+    assert _equivalent(_normalize(doc), _normalize(reparsed))
+
+
+def _normalize(node):
+    """Merge adjacent text nodes and drop empty text, recursively."""
+    if isinstance(node, Text):
+        return node
+    clone = Document() if isinstance(node, Document) else Element(node.tag, node.attrs)
+    pending_text: list[str] = []
+    for child in node.children:
+        if isinstance(child, Text):
+            if child.data:
+                pending_text.append(child.data)
+            continue
+        if pending_text:
+            clone.append(Text("".join(pending_text)))
+            pending_text = []
+        clone.append(_normalize(child))
+    if pending_text:
+        clone.append(Text("".join(pending_text)))
+    return clone
+
+
+def test_retailer_page_roundtrip(tiny_world):
+    """A real rendered page survives serialize -> parse -> serialize."""
+    retailer = tiny_world.retailer("www.digitalrev.com")
+    vantage = tiny_world.vantage_points[0]
+    product = retailer.catalog.products[0]
+    response = vantage.fetch(
+        tiny_world.network, f"http://{retailer.domain}{product.path}"
+    )
+    html = response.body
+    again = to_html(parse_html(html))
+    assert to_html(parse_html(again)) == again

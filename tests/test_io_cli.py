@@ -1,0 +1,163 @@
+"""Dataset persistence round-trips and CLI tests."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro import io as dataset_io
+from repro.core.reports import PriceCheckReport, VantageObservation
+from repro.crawler.records import CrawlDataset
+
+
+def make_report(url: str = "http://d.example/p/1", *, day: int = 3) -> PriceCheckReport:
+    return PriceCheckReport(
+        check_id="chk0000001",
+        url=url,
+        domain="d.example",
+        day_index=day,
+        timestamp=day * 86400.0 + 120.5,
+        observations=[
+            VantageObservation(
+                vantage="USA - Boston", country_code="US", city="Boston",
+                ok=True, raw_text="$10.00", amount=10.0, currency="USD",
+                usd=10.0, method="selector",
+            ),
+            VantageObservation(
+                vantage="Finland - Tampere", country_code="FI", city="Tampere",
+                ok=True, raw_text="9,70 €", amount=9.7, currency="EUR",
+                usd=12.8, method="selector",
+            ),
+            VantageObservation(
+                vantage="UK - London", country_code="GB", city="London",
+                ok=False, error="http 404",
+            ),
+        ],
+        guard_threshold=1.02,
+        origin="crawler",
+    )
+
+
+class TestReportRoundtrip:
+    def test_dict_roundtrip(self):
+        report = make_report()
+        data = dataset_io.report_to_dict(report)
+        again = dataset_io.report_from_dict(data)
+        assert again.check_id == report.check_id
+        assert again.url == report.url
+        assert again.day_index == report.day_index
+        assert again.guard_threshold == report.guard_threshold
+        assert len(again.observations) == 3
+        assert again.ratio == pytest.approx(report.ratio)
+        assert again.has_variation == report.has_variation
+
+    def test_json_serializable(self):
+        json.dumps(dataset_io.report_to_dict(make_report()))
+
+    def test_bad_record_raises(self):
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.report_from_dict({"url": "x"})
+
+
+class TestCrawlFile:
+    def test_save_load_roundtrip(self, tmp_path: Path):
+        dataset = CrawlDataset()
+        for day in range(3):
+            dataset.add(make_report(f"http://d.example/p/{day}", day=day))
+        path = tmp_path / "crawl.jsonl"
+        written = dataset_io.save_crawl_dataset(dataset, path, seed=7)
+        assert written == 3
+        loaded = dataset_io.load_crawl_dataset(path)
+        assert len(loaded) == 3
+        assert loaded.day_indices == [0, 1, 2]
+        assert loaded.n_extracted_prices == dataset.n_extracted_prices
+
+    def test_header_validated(self, tmp_path: Path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crawl_dataset(path)
+
+    def test_version_mismatch(self, tmp_path: Path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "repro-reports", "version": 99, "kind": "crawl"}\n')
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crawl_dataset(path)
+
+    def test_kind_mismatch(self, tmp_path: Path):
+        path = tmp_path / "crowd.jsonl"
+        path.write_text('{"format": "repro-reports", "version": 1, "kind": "crowd"}\n')
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crawl_dataset(path)
+
+    def test_empty_file(self, tmp_path: Path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crawl_dataset(path)
+
+    def test_corrupt_line(self, tmp_path: Path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"format": "repro-reports", "version": 1, "kind": "crawl"}\n'
+            "not json\n"
+        )
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crawl_dataset(path)
+
+
+class TestCrowdFile:
+    def test_save_load_roundtrip(self, tiny_ctx, tmp_path: Path):
+        dataset = tiny_ctx.crowd
+        path = tmp_path / "crowd.jsonl"
+        written = dataset_io.save_crowd_dataset(dataset, path, seed=2013)
+        assert written == len(dataset)
+        loaded = dataset_io.load_crowd_dataset(path)
+        assert loaded.summary() == dataset.summary()
+        assert loaded.variation_counts() == dataset.variation_counts()
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["campaign", "--scale", "tiny"])
+        assert args.command == "campaign"
+        args = parser.parse_args(["check", "www.amazon.com", "--product", "3"])
+        assert args.domain == "www.amazon.com"
+        assert args.product == 3
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_check_command(self, capsys):
+        code = cli.main(["check", "www.digitalrev.com", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VARIATION" in out
+        assert "Finland - Tampere" in out
+
+    def test_check_unknown_domain(self, capsys):
+        code = cli.main(["check", "www.nothere.example", "--scale", "tiny"])
+        assert code == 2
+        assert "unknown domain" in capsys.readouterr().err
+
+    def test_check_bad_product_index(self, capsys):
+        code = cli.main(
+            ["check", "www.digitalrev.com", "--scale", "tiny", "--product", "99999"]
+        )
+        assert code == 2
+
+    def test_crawl_then_analyze(self, tmp_path: Path, capsys):
+        out_file = tmp_path / "crawl.jsonl"
+        code = cli.main(["crawl", "--scale", "tiny", "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        code = cli.main(["analyze", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "extent of variation" in out
+        assert "Finland profile" in out

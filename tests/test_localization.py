@@ -1,0 +1,127 @@
+"""Locale formatting and locale-blind price parsing tests.
+
+This pair of functions is the §2.2/§3.2 noise model, so the tests pin the
+exact rules down, including a format→parse round-trip property across all
+locales.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecommerce.localization import (
+    LOCALES,
+    Locale,
+    PriceFormatError,
+    format_price,
+    locale_for_country,
+    parse_price,
+)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "country,amount,expected",
+        [
+            ("US", 1234.56, "$1,234.56"),
+            ("GB", 1234.56, "£1,234.56"),
+            ("DE", 1234.56, "1.234,56 €"),
+            ("ES", 19.99, "19,99 €"),
+            ("FI", 1234.56, "1 234,56 €"),
+            ("FR", 1234.56, "1 234,56 €"),
+            ("BR", 1234.56, "R$ 1.234,56"),
+            ("CH", 1234.56, "Fr. 1'234.56"),
+            ("US", 0.99, "$0.99"),
+        ],
+    )
+    def test_locale_formats(self, country, amount, expected):
+        assert format_price(amount, country) == expected
+
+    def test_jpy_zero_decimals(self):
+        assert format_price(1234.0, "JP", decimals=0) == "¥1,234"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_price(-1.0, "US")
+
+    def test_unknown_country_defaults_us(self):
+        assert locale_for_country("ZZ") is LOCALES["US"]
+
+    def test_grouping_of_large_numbers(self):
+        assert LOCALES["US"].format_amount(1234567.89) == "1,234,567.89"
+        assert LOCALES["DE"].format_amount(1234567.89) == "1.234.567,89"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,amount,currency",
+        [
+            ("$1,234.56", 1234.56, "USD"),
+            ("£19.99", 19.99, "GBP"),
+            ("1.234,56 €", 1234.56, "EUR"),
+            ("19,99 €", 19.99, "EUR"),
+            ("1 234,56 €", 1234.56, "EUR"),
+            ("R$ 132,84", 132.84, "BRL"),
+            ("Fr. 1'234.56", 1234.56, "CHF"),
+            ("¥1,234", 1234.0, "JPY"),
+            ("EUR 56.35", 56.35, "EUR"),
+            ("USD 10", 10.0, "USD"),
+            ("Price: $5.99 only", 5.99, "USD"),
+        ],
+    )
+    def test_known_formats(self, text, amount, currency):
+        parsed = parse_price(text)
+        assert parsed.amount == pytest.approx(amount)
+        assert parsed.currency == currency
+
+    def test_no_symbol_yields_none_currency(self):
+        parsed = parse_price("1.234,56")
+        assert parsed.currency is None
+        assert parsed.amount == pytest.approx(1234.56)
+
+    def test_three_digit_tail_is_grouping(self):
+        # The classic ambiguity: "1.234" is twelve-hundred-ish.
+        assert parse_price("1.234").amount == 1234.0
+        assert parse_price("1,234").amount == 1234.0
+
+    def test_two_digit_tail_is_decimal(self):
+        assert parse_price("12,34").amount == pytest.approx(12.34)
+        assert parse_price("12.34").amount == pytest.approx(12.34)
+
+    def test_both_separators_latest_wins(self):
+        assert parse_price("1.234,56").amount == pytest.approx(1234.56)
+        assert parse_price("1,234.56").amount == pytest.approx(1234.56)
+
+    def test_repeated_separator_is_grouping(self):
+        assert parse_price("1.234.567").amount == 1234567.0
+
+    def test_single_digit_tail(self):
+        assert parse_price("12.5").amount == pytest.approx(12.5)
+
+    @pytest.mark.parametrize("bad", ["", "   ", "free!", "N/A", "€"])
+    def test_rejects_priceless_strings(self, bad):
+        with pytest.raises(PriceFormatError):
+            parse_price(bad)
+
+    def test_rsign_wins_over_dollar(self):
+        assert parse_price("R$ 10,00").currency == "BRL"
+
+
+@given(
+    amount=st.floats(min_value=0.01, max_value=99999.0),
+    country=st.sampled_from(sorted(LOCALES)),
+)
+@settings(max_examples=200, deadline=None)
+def test_format_parse_roundtrip(amount, country):
+    """parse(format(x)) == x (2-decimal quantized) for every locale.
+
+    This is the property the whole measurement pipeline relies on: $heriff
+    must recover the number a retailer displayed, whatever the locale.
+    """
+    locale = locale_for_country(country)
+    amount = round(amount, 2)
+    text = locale.format_price(amount)
+    parsed = parse_price(text, locale_hint=locale)
+    assert parsed.amount == pytest.approx(amount, abs=0.005)
+    assert parsed.currency == locale.currency.code

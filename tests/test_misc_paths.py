@@ -1,0 +1,108 @@
+"""Edge paths across modules: symbol-less prices, JPY, day boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backend import CheckRequest, SheriffBackend
+from repro.core.highlight import PriceAnchor
+from repro.ecommerce.localization import LOCALES
+from repro.net.clock import SECONDS_PER_DAY
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.transport import FunctionServer
+
+
+class SymbollessShop:
+    """A shop that displays bare numbers ('1.234,56') without a currency
+    symbol -- the extraction must fall back to the vantage's locale."""
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        # Serve a German-format, symbol-less price to everyone.
+        return HttpResponse.html(
+            "<html><body><div id='p' class='price'>1.234,56</div></body></html>"
+        )
+
+
+class TestCurrencyFallback:
+    def test_backend_uses_vantage_locale_for_bare_numbers(self, fresh_world):
+        world = fresh_world
+        world.network.register("bare.example", SymbollessShop())
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        report = backend.check(CheckRequest(
+            url="http://bare.example/x",
+            anchor=PriceAnchor(selector="#p", node_path="/0/0/0", sample_text=""),
+        ))
+        by_vantage = {o.vantage: o for o in report.valid_observations()}
+        # German vantage reads EUR; the locale hint also fixes the
+        # separator interpretation (1.234,56 -> 1234.56).
+        berlin = by_vantage["Germany - Berlin"]
+        assert berlin.currency == "EUR"
+        assert berlin.amount == pytest.approx(1234.56)
+        # US vantage has no symbol either -> falls back to USD.
+        boston = by_vantage["USA - Boston"]
+        assert boston.currency == "USD"
+
+    def test_jpy_locale_formats_integer(self):
+        locale = LOCALES["JP"]
+        assert locale.format_price(1234.0, decimals=0) == "¥1,234"
+
+
+class TestDayBoundaries:
+    def test_check_day_index_tracks_clock(self, fresh_world):
+        from repro.analysis.personal import derive_anchor_for_domain
+
+        world = fresh_world
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        domain = "www.digitalrev.com"
+        anchor = derive_anchor_for_domain(world, domain)
+        product = world.retailer(domain).catalog.products[0]
+        url = f"http://{domain}{product.path}"
+
+        world.clock.advance_to(max(world.clock.now, 10 * SECONDS_PER_DAY))
+        early = backend.check(CheckRequest(url=url, anchor=anchor))
+        world.clock.advance_to(42 * SECONDS_PER_DAY + 3600)
+        later = backend.check(CheckRequest(url=url, anchor=anchor))
+        assert early.day_index == 10
+        assert later.day_index == 42
+
+    def test_conversion_consistent_within_day(self, fresh_world):
+        """Retailer converts USD->EUR and the backend converts back with
+        the same day's mid rate: round-trip error stays inside rounding."""
+        from repro.analysis.personal import derive_anchor_for_domain
+
+        world = fresh_world
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        domain = "www.digitalrev.com"
+        anchor = derive_anchor_for_domain(world, domain)
+        product = world.retailer(domain).catalog.products[0]
+        report = backend.check(CheckRequest(
+            url=f"http://{domain}{product.path}", anchor=anchor,
+        ))
+        by_vantage = {o.vantage: o for o in report.valid_observations()}
+        berlin = by_vantage["Germany - Berlin"]
+        boston = by_vantage["USA - Boston"]
+        # digitalrev charges DE 1.2x US; the EUR round-trip must land
+        # within display-rounding of exactly that.
+        assert berlin.usd / boston.usd == pytest.approx(1.2, abs=0.002)
+
+
+class TestSpainTriplet:
+    def test_browser_config_never_changes_price(self, fresh_world):
+        """The paper's control: three Spain vantage points differing only
+        in browser/OS must always see identical prices."""
+        from repro.analysis.personal import derive_anchor_for_domain
+
+        world = fresh_world
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        for domain in ("www.digitalrev.com", "www.guess.eu", "www.amazon.com"):
+            anchor = derive_anchor_for_domain(world, domain)
+            product = world.retailer(domain).catalog.products[1]
+            report = backend.check(CheckRequest(
+                url=f"http://{domain}{product.path}", anchor=anchor,
+            ))
+            spain = [
+                obs.amount for obs in report.valid_observations()
+                if obs.vantage.startswith("Spain")
+            ]
+            assert len(spain) == 3
+            assert len(set(spain)) == 1, domain

@@ -1,0 +1,139 @@
+"""Geo-IP database and virtual clock tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.clock import SECONDS_PER_DAY, SimDate, VirtualClock
+from repro.net.geoip import (
+    COUNTRY_SEED,
+    GeoIPDatabase,
+    GeoLocation,
+    IPAddressPlan,
+    int_to_ip,
+    ip_to_int,
+)
+
+
+class TestIpCodec:
+    @pytest.mark.parametrize("ip", ["0.0.0.0", "10.1.2.3", "255.255.255.255"])
+    def test_roundtrip(self, ip):
+        assert int_to_ip(ip_to_int(ip)) == ip
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_int_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestAddressPlan:
+    def test_allocations_unique(self):
+        plan = IPAddressPlan()
+        seen = {plan.allocate("US", "Boston") for _ in range(50)}
+        assert len(seen) == 50
+
+    def test_lookup_resolves_allocation(self):
+        plan = IPAddressPlan()
+        db = plan.database()
+        for code, country, cities in COUNTRY_SEED[:5]:
+            ip = plan.allocate(code, cities[0])
+            location = db.lookup(ip)
+            assert location == GeoLocation(code, country, cities[0])
+
+    def test_default_city(self):
+        plan = IPAddressPlan()
+        ip = plan.allocate("FI")
+        assert plan.database().lookup(ip).city == "Tampere"
+
+    def test_unknown_country(self):
+        with pytest.raises(KeyError):
+            IPAddressPlan().allocate("XX")
+
+    def test_unknown_city(self):
+        with pytest.raises(KeyError):
+            IPAddressPlan().allocate("US", "Atlantis")
+
+    def test_unallocated_space_unresolved(self):
+        db = IPAddressPlan().database()
+        assert db.lookup("1.2.3.4") is None
+        assert db.lookup("not-an-ip") is None
+
+    def test_country_code_helper(self):
+        plan = IPAddressPlan()
+        db = plan.database()
+        assert db.country_code(plan.allocate("BR")) == "BR"
+        assert db.country_code("1.2.3.4") is None
+
+    def test_blocks_disjoint(self):
+        blocks = sorted(IPAddressPlan().blocks, key=lambda b: b.base)
+        for a, b in zip(blocks, blocks[1:]):
+            assert a.base + a.size <= b.base
+
+
+class TestSimDate:
+    def test_epoch(self):
+        date = SimDate(0)
+        assert (date.year, date.month, date.day) == (2013, 1, 1)
+        assert date.iso() == "2013-01-01"
+
+    def test_end_of_january(self):
+        assert SimDate(30).iso() == "2013-01-31"
+        assert SimDate(31).iso() == "2013-02-01"
+
+    def test_non_leap_year(self):
+        assert SimDate(58).iso() == "2013-02-28"
+        assert SimDate(59).iso() == "2013-03-01"
+
+    def test_year_wrap(self):
+        assert SimDate(365).iso() == "2014-01-01"
+
+    def test_label(self):
+        assert SimDate(0).label() == "01-Jan-2013"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimDate(-1)
+
+    def test_ordering(self):
+        assert SimDate(3) < SimDate(4)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(10.5)
+        assert clock.now == 10.5
+
+    def test_no_time_travel(self):
+        clock = VirtualClock(100)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.advance_to(50)
+        with pytest.raises(ValueError):
+            VirtualClock(-5)
+
+    def test_date_property(self):
+        clock = VirtualClock()
+        clock.advance(3 * SECONDS_PER_DAY + 5)
+        assert clock.date == SimDate(3)
+        assert clock.seconds_into_day() == 5
+
+    def test_days_iterator(self):
+        clock = VirtualClock(2 * SECONDS_PER_DAY)
+        days = list(clock.days(3))
+        assert [d.day_index for d in days] == [2, 3, 4]
+        assert [d.day_index for d in clock.days(2, start_day=7)] == [7, 8]

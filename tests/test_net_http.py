@@ -1,0 +1,148 @@
+"""HTTP message model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    HttpStatus,
+    SetCookie,
+    parse_cookie_header,
+)
+from repro.net.urls import URL
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Type", "text/html")])
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_add_preserves_multiple(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+        assert headers.get("Set-Cookie") == "a=1"
+
+    def test_set_replaces_all(self):
+        headers = Headers([("X", "1"), ("x", "2")])
+        headers.set("X", "3")
+        assert headers.get_all("x") == ["3"]
+
+    def test_remove(self):
+        headers = Headers([("A", "1"), ("B", "2")])
+        headers.remove("a")
+        assert "A" not in headers
+        assert "B" in headers
+
+    def test_iteration_order(self):
+        items = [("A", "1"), ("B", "2"), ("A", "3")]
+        assert list(Headers(items)) == items
+
+    def test_copy_independent(self):
+        original = Headers([("A", "1")])
+        clone = original.copy()
+        clone.set("A", "9")
+        assert original.get("A") == "1"
+
+    def test_len_and_eq(self):
+        assert len(Headers([("A", "1")])) == 1
+        assert Headers([("A", "1")]) == Headers([("A", "1")])
+
+
+class TestHttpRequest:
+    def test_method_uppercased(self):
+        req = HttpRequest(method="get", url=URL.parse("http://h/"))
+        assert req.method == "GET"
+
+    def test_unsupported_method(self):
+        with pytest.raises(ValueError):
+            HttpRequest(method="DELETE", url=URL.parse("http://h/"))
+
+    def test_string_url_coerced(self):
+        req = HttpRequest(method="GET", url="http://h/p")
+        assert isinstance(req.url, URL)
+        assert req.url.path == "/p"
+
+    def test_cookie_accessor(self):
+        headers = Headers([("Cookie", "session=abc; auth=alice")])
+        req = HttpRequest(method="GET", url="http://h/", headers=headers)
+        assert req.cookies == {"session": "abc", "auth": "alice"}
+
+    def test_header_accessors(self):
+        headers = Headers([
+            ("User-Agent", "UA/1"), ("Accept-Language", "fi-FI"),
+            ("Referer", "http://r/"),
+        ])
+        req = HttpRequest(method="GET", url="http://h/", headers=headers)
+        assert req.user_agent == "UA/1"
+        assert req.accept_language == "fi-FI"
+        assert req.referer == "http://r/"
+
+
+class TestSetCookie:
+    def test_roundtrip(self):
+        cookie = SetCookie("session", "xyz", path="/shop", max_age=60,
+                           secure=True, http_only=True)
+        parsed = SetCookie.parse(cookie.to_header())
+        assert parsed == cookie
+
+    def test_parse_minimal(self):
+        cookie = SetCookie.parse("a=b")
+        assert cookie.name == "a" and cookie.value == "b"
+        assert cookie.path == "/"
+        assert cookie.max_age is None
+
+    def test_parse_bad(self):
+        with pytest.raises(ValueError):
+            SetCookie.parse("no-equals-sign")
+
+    def test_bad_max_age_ignored(self):
+        cookie = SetCookie.parse("a=b; Max-Age=soon")
+        assert cookie.max_age is None
+
+
+class TestCookieHeaderParsing:
+    def test_parse(self):
+        assert parse_cookie_header("a=1; b=2") == {"a": "1", "b": "2"}
+
+    def test_skips_malformed(self):
+        assert parse_cookie_header("a=1; garbage; b=2") == {"a": "1", "b": "2"}
+
+
+class TestHttpResponse:
+    def test_html_constructor(self):
+        resp = HttpResponse.html("<p>x</p>")
+        assert resp.ok
+        assert resp.content_type.startswith("text/html")
+        assert resp.headers.get("Content-Length") == "8"
+
+    def test_not_found(self):
+        resp = HttpResponse.not_found()
+        assert resp.status == HttpStatus.NOT_FOUND
+        assert not resp.ok
+
+    def test_redirect(self):
+        resp = HttpResponse.redirect("/next")
+        assert resp.status.is_redirect
+        assert resp.headers.get("Location") == "/next"
+        permanent = HttpResponse.redirect("/next", permanent=True)
+        assert permanent.status == HttpStatus.MOVED_PERMANENTLY
+
+    def test_set_cookies_accessor(self):
+        resp = HttpResponse.html("x")
+        resp.headers.add("Set-Cookie", "a=1")
+        resp.headers.add("Set-Cookie", "bad")
+        resp.headers.add("Set-Cookie", "b=2; Path=/p")
+        cookies = resp.set_cookies
+        assert [(c.name, c.value) for c in cookies] == [("a", "1"), ("b", "2")]
+
+    def test_status_helpers(self):
+        assert HttpStatus.OK.is_success
+        assert not HttpStatus.NOT_FOUND.is_success
+        assert HttpStatus.FOUND.is_redirect
+        assert not HttpStatus.OK.is_redirect

@@ -1,0 +1,160 @@
+"""Network transport tests: DNS, latency, redirects, loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.net.http import Headers, HttpRequest, HttpResponse, HttpStatus, SetCookie
+from repro.net.transport import DNSError, FunctionServer, Network, TransportError
+from repro.net.urls import URL
+
+
+def get(url: str, **kwargs) -> HttpRequest:
+    return HttpRequest(method="GET", url=URL.parse(url), **kwargs)
+
+
+def echo_server(request: HttpRequest) -> HttpResponse:
+    return HttpResponse.html(f"path={request.url.path}")
+
+
+class TestRouting:
+    def test_fetch_routes_by_host(self):
+        net = Network()
+        net.register("a.example", FunctionServer(echo_server))
+        net.register("b.example", FunctionServer(lambda r: HttpResponse.html("B")))
+        assert net.fetch(get("http://a.example/x")).body == "path=/x"
+        assert net.fetch(get("http://b.example/")).body == "B"
+
+    def test_nxdomain(self):
+        net = Network()
+        with pytest.raises(DNSError):
+            net.fetch(get("http://nowhere.example/"))
+
+    def test_unregister(self):
+        net = Network()
+        net.register("a.example", FunctionServer(echo_server))
+        net.unregister("a.example")
+        with pytest.raises(DNSError):
+            net.fetch(get("http://a.example/"))
+
+    def test_hostname_case_insensitive(self):
+        net = Network()
+        net.register("Shop.Example", FunctionServer(echo_server))
+        assert net.fetch(get("http://shop.example/")).ok
+
+    def test_hostnames_listing(self):
+        net = Network()
+        net.register("b.x", FunctionServer(echo_server))
+        net.register("a.x", FunctionServer(echo_server))
+        assert net.hostnames == ["a.x", "b.x"]
+
+
+class TestTiming:
+    def test_clock_advances_per_request(self):
+        clock = VirtualClock()
+        net = Network(clock, seed=1)
+        net.register("a.example", FunctionServer(echo_server))
+        before = clock.now
+        response = net.fetch(get("http://a.example/"))
+        assert clock.now > before
+        assert response.elapsed == pytest.approx(clock.now - before)
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            clock = VirtualClock()
+            net = Network(clock, seed=seed)
+            net.register("a.example", FunctionServer(echo_server))
+            for _ in range(5):
+                net.fetch(get("http://a.example/"))
+            return clock.now
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_request_timestamp_stamped(self):
+        net = Network(VirtualClock(1000))
+        seen = []
+        net.register("a.example", FunctionServer(lambda r: (seen.append(r.timestamp), HttpResponse.html("x"))[1]))
+        net.fetch(get("http://a.example/"))
+        assert seen and seen[0] > 1000
+
+
+class TestRedirects:
+    def _redirecting_network(self) -> Network:
+        net = Network()
+
+        def server(request: HttpRequest) -> HttpResponse:
+            if request.url.path == "/old":
+                resp = HttpResponse.redirect("/new")
+                resp.headers.add("Set-Cookie", SetCookie("hop", "1").to_header())
+                return resp
+            if request.url.path == "/loop":
+                return HttpResponse.redirect("/loop")
+            return HttpResponse.html(f"cookie={request.cookies.get('hop', '-')}")
+
+        net.register("a.example", FunctionServer(server))
+        return net
+
+    def test_follow_redirect(self):
+        net = self._redirecting_network()
+        response = net.fetch(get("http://a.example/old"))
+        assert response.ok
+        assert response.url.path == "/new"
+
+    def test_redirect_carries_set_cookie_to_final_response(self):
+        net = self._redirecting_network()
+        response = net.fetch(get("http://a.example/old"))
+        names = [c.name for c in response.set_cookies]
+        assert "hop" in names
+
+    def test_redirect_hop_sends_new_cookie(self):
+        net = self._redirecting_network()
+        response = net.fetch(get("http://a.example/old"))
+        assert response.body == "cookie=1"
+
+    def test_no_follow_option(self):
+        net = self._redirecting_network()
+        response = net.fetch(get("http://a.example/old"), follow_redirects=False)
+        assert response.status.is_redirect
+
+    def test_redirect_loop_detected(self):
+        net = self._redirecting_network()
+        with pytest.raises(TransportError):
+            net.fetch(get("http://a.example/loop"))
+
+
+class TestLoss:
+    def test_loss_raises_transport_error(self):
+        net = Network(seed=3, loss_rate=0.99)
+        net.register("a.example", FunctionServer(echo_server))
+        with pytest.raises(TransportError):
+            for _ in range(10):
+                net.fetch(get("http://a.example/"))
+
+    def test_zero_loss_never_fails(self):
+        net = Network(seed=3, loss_rate=0.0)
+        net.register("a.example", FunctionServer(echo_server))
+        for _ in range(50):
+            assert net.fetch(get("http://a.example/")).ok
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            Network(loss_rate=1.0)
+
+
+class TestAccounting:
+    def test_request_count(self):
+        net = Network()
+        net.register("a.example", FunctionServer(echo_server))
+        for _ in range(3):
+            net.fetch(get("http://a.example/"))
+        assert net.request_count == 3
+
+    def test_request_log_opt_in(self):
+        net = Network()
+        net.register("a.example", FunctionServer(echo_server))
+        net.fetch(get("http://a.example/"))
+        assert not net.request_log
+        net.fetch(get("http://a.example/"), record=True)
+        assert len(net.request_log) == 1

@@ -1,0 +1,157 @@
+"""URL parsing/joining tests, including property-based round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.urls import URL, URLError, encode_query, parse_query, urljoin
+
+
+class TestParse:
+    def test_minimal(self):
+        url = URL.parse("http://example.com")
+        assert url.scheme == "http"
+        assert url.host == "example.com"
+        assert url.path == "/"
+        assert url.query == ()
+        assert url.port is None
+
+    def test_full(self):
+        url = URL.parse("https://shop.example.com:8443/p/SKU.html?a=1&b=two#frag")
+        assert url.scheme == "https"
+        assert url.host == "shop.example.com"
+        assert url.port == 8443
+        assert url.path == "/p/SKU.html"
+        assert url.query == (("a", "1"), ("b", "two"))
+        assert url.fragment == "frag"
+
+    def test_host_case_folded(self):
+        assert URL.parse("http://WWW.Amazon.COM/x").host == "www.amazon.com"
+
+    def test_path_dot_segments_normalized(self):
+        assert URL.parse("http://h/a/b/../c/./d").path == "/a/c/d"
+
+    def test_percent_decoding(self):
+        url = URL.parse("http://h/caf%C3%A9?q=a%20b")
+        assert url.path == "/café"
+        assert url.query_param("q") == "a b"
+
+    def test_plus_in_query_is_space(self):
+        assert URL.parse("http://h/?q=a+b").query_param("q") == "a b"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "example.com/x", "http:", "http:/x", "http://",
+         "http://host:99999/", "//nohost"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(URLError):
+            URL.parse(bad)
+
+
+class TestProperties:
+    def test_effective_port_defaults(self):
+        assert URL.parse("http://h/").effective_port == 80
+        assert URL.parse("https://h/").effective_port == 443
+        assert URL.parse("http://h:81/").effective_port == 81
+
+    def test_origin_elides_default_port(self):
+        assert URL.parse("http://h:80/x").origin == "http://h"
+        assert URL.parse("http://h:81/x").origin == "http://h:81"
+
+    def test_query_param_first_wins(self):
+        url = URL.parse("http://h/?a=1&a=2")
+        assert url.query_param("a") == "1"
+        assert url.query_param("zz") is None
+        assert url.query_param("zz", "d") == "d"
+
+    def test_with_query_replaces(self):
+        url = URL.parse("http://h/?a=1&b=2").with_query(a="9", c="3")
+        assert url.query_param("a") == "9"
+        assert url.query_param("b") == "2"
+        assert url.query_param("c") == "3"
+
+    def test_canonical(self):
+        url = URL.parse("http://h:80/x?a=1#f").canonical()
+        assert url.fragment == ""
+        assert url.port is None
+
+    def test_str_roundtrip(self):
+        for text in (
+            "http://example.com/",
+            "http://example.com/p/X.html?sku=A1&c=2",
+            "https://h:8443/deep/path",
+        ):
+            assert str(URL.parse(text)) == text
+
+
+class TestUrljoin:
+    BASE = "http://shop.example.com/cat/items/page.html?x=1"
+
+    @pytest.mark.parametrize(
+        "ref,expected",
+        [
+            ("http://other.com/a", "http://other.com/a"),
+            ("//cdn.example.com/lib.js", "http://cdn.example.com/lib.js"),
+            ("/product/SKU1", "http://shop.example.com/product/SKU1"),
+            ("other.html", "http://shop.example.com/cat/items/other.html"),
+            ("../up.html", "http://shop.example.com/cat/up.html"),
+            ("?y=2", "http://shop.example.com/cat/items/page.html?y=2"),
+            ("#frag", "http://shop.example.com/cat/items/page.html?x=1#frag"),
+            ("", "http://shop.example.com/cat/items/page.html?x=1"),
+        ],
+    )
+    def test_join(self, ref, expected):
+        assert str(urljoin(self.BASE, ref)) == expected
+
+    def test_join_accepts_url_object(self):
+        base = URL.parse(self.BASE)
+        assert urljoin(base, "/a").path == "/a"
+
+
+class TestQueryCodec:
+    def test_parse_empty(self):
+        assert parse_query("") == []
+
+    def test_parse_valueless(self):
+        assert parse_query("a&b=1") == [("a", ""), ("b", "1")]
+
+    def test_encode_escapes(self):
+        assert encode_query([("a b", "c&d")]) == "a%20b=c%26d"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=8),
+                st.text(max_size=8),
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_query_roundtrip(self, pairs):
+        assert parse_query(encode_query(pairs)) == [
+            (k, v) for k, v in pairs
+        ]
+
+
+_HOST = st.from_regex(r"[a-z][a-z0-9]{0,10}(\.[a-z]{2,5}){1,2}", fullmatch=True)
+_PATH_SEG = st.from_regex(r"[a-zA-Z0-9_-]{1,8}", fullmatch=True)
+
+
+@given(
+    host=_HOST,
+    segments=st.lists(_PATH_SEG, max_size=4),
+    query=st.lists(st.tuples(_PATH_SEG, _PATH_SEG), max_size=3),
+)
+@settings(max_examples=80, deadline=None)
+def test_url_parse_str_roundtrip(host, segments, query):
+    """parse(str(u)) == u for URLs built from clean components."""
+    url = URL(
+        scheme="http",
+        host=host,
+        path="/" + "/".join(segments),
+        query=tuple(query),
+    )
+    assert URL.parse(str(url)) == url

@@ -1,0 +1,131 @@
+"""Referrer-dependent pricing and the user-agreement cleaning filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cleaning import split_by_user_agreement
+from repro.core.backend import SheriffBackend
+from repro.core.extension import SheriffExtension, UserClient
+from repro.crowd.campaign import CampaignConfig, run_campaign
+from repro.ecommerce.catalog import Product
+from repro.ecommerce.pricing import PricingContext, ReferrerDiscount, UniformPricing
+from repro.ecommerce.world import WorldConfig, build_world
+from repro.htmlmodel.selectors import Selector
+from repro.net.geoip import GeoLocation
+from repro.net.useragent import profile_for
+
+AGGREGATOR = "http://www.pricegrabber.com/search?q=stapler"
+
+
+def product(price: float = 100.0) -> Product:
+    return Product(sku="S1", name="Thing", category="office",
+                   base_price_usd=price, path="/product/S1")
+
+
+class TestReferrerDiscountPolicy:
+    def test_discount_applies_with_matching_referer(self):
+        policy = ReferrerDiscount(UniformPricing(), discount=0.1)
+        ctx = PricingContext(country_code="US", referer=AGGREGATOR)
+        assert policy.price(product(100), ctx) == pytest.approx(90.0)
+
+    def test_no_referer_no_discount(self):
+        policy = ReferrerDiscount(UniformPricing(), discount=0.1)
+        ctx = PricingContext(country_code="US")
+        assert policy.price(product(100), ctx) == 100.0
+
+    def test_unrelated_referer_no_discount(self):
+        policy = ReferrerDiscount(UniformPricing(), discount=0.1)
+        ctx = PricingContext(country_code="US", referer="http://blog.example/")
+        assert policy.price(product(100), ctx) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReferrerDiscount(UniformPricing(), discount=1.0)
+        with pytest.raises(ValueError):
+            ReferrerDiscount(UniformPricing(), referer_substring="")
+
+
+class TestEndToEnd:
+    def _user(self, world) -> UserClient:
+        return UserClient(
+            name="bargain-hunter",
+            location=GeoLocation("US", "USA", "Boston"),
+            ip=world.plan.allocate("US", "Boston"),
+            profile=profile_for("chrome", "windows"),
+        )
+
+    def test_referred_user_disagrees_with_fleet(self, fresh_world):
+        """The user sees the discounted price; the fan-out (bare URI, no
+        Referer) sees the list price -- a detectable mismatch."""
+        world = fresh_world
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        extension = SheriffExtension(backend, world.network)
+        retailer = world.retailer("www.staples.com")
+        item = retailer.catalog.products[0]
+        finder = Selector.parse(retailer.template.price_selector).select_one
+
+        url = f"http://www.staples.com{item.path}"
+        referred = extension.check_product(
+            self._user(world), url, finder, referer=AGGREGATOR
+        )
+        direct = extension.check_product(self._user(world), url, finder)
+        assert referred.ok and direct.ok
+        assert referred.user_amount == pytest.approx(
+            direct.user_amount * 0.92, rel=0.01
+        )
+        # The fleet's Boston observation equals the *direct* price.
+        boston = referred.report.observation_for("USA - Boston")
+        assert boston is not None and boston.usd == pytest.approx(
+            direct.user_amount, rel=0.01
+        )
+
+    def test_agreement_filter_separates_referred_checks(self, fresh_world):
+        world = fresh_world
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        extension = SheriffExtension(backend, world.network)
+        retailer = world.retailer("www.staples.com")
+        finder = Selector.parse(retailer.template.price_selector).select_one
+
+        from repro.crowd.dataset import CheckRecord, CrowdDataset
+
+        dataset = CrowdDataset()
+        for index, item in enumerate(retailer.catalog.products[:6]):
+            referer = AGGREGATOR if index % 2 == 0 else None
+            outcome = extension.check_product(
+                self._user(world), f"http://www.staples.com{item.path}",
+                finder, referer=referer,
+            )
+            dataset.add(CheckRecord(
+                user_id=f"u{index}", user_country="US", day_index=0,
+                domain="www.staples.com",
+                url=outcome.url, outcome=outcome,
+            ))
+        agreeing, disagreeing = split_by_user_agreement(
+            dataset.records, world.rates
+        )
+        assert len(disagreeing) == 3  # exactly the referred checks
+        assert all(
+            record.user_id in {"u0", "u2", "u4"} for record in disagreeing
+        )
+
+    def test_campaign_with_referrals_still_clean(self):
+        """Campaign-level: referral noise exists but the agreement filter
+        keeps the flagged-domain statistics intact."""
+        world = build_world(WorldConfig(catalog_scale=0.15, long_tail_domains=5))
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        dataset = run_campaign(world, backend, CampaignConfig(
+            n_checks=60, population_size=30, seed=17, p_referred=0.3,
+        ))
+        agreeing, disagreeing = split_by_user_agreement(
+            dataset.records, world.rates
+        )
+        assert len(agreeing) + len(disagreeing) == 60
+        # Disagreements concentrate on the referrer-discriminating shop.
+        if disagreeing:
+            domains = {record.domain for record in disagreeing}
+            assert domains <= {"www.staples.com"}
+
+    def test_tolerance_validation(self, fresh_world):
+        with pytest.raises(ValueError):
+            split_by_user_agreement([], fresh_world.rates, tolerance=-0.1)

@@ -1,0 +1,91 @@
+"""Text-plot rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import BoxStats
+from repro.textplot import bars, boxplot_rows, scatter
+
+
+class TestBars:
+    def test_widest_bar_is_max(self):
+        out = bars({"a": 10.0, "b": 5.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_sort_disabled_preserves_order(self):
+        out = bars({"low": 1.0, "high": 9.0}, sort=False)
+        assert out.splitlines()[0].startswith("low")
+
+    def test_empty(self):
+        assert bars({}) == "(no data)"
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            bars({"a": 1.0}, width=0)
+
+
+class TestBoxplotRows:
+    def _stats(self):
+        return {
+            "narrow": BoxStats.from_values([1.0, 1.01, 1.02, 1.03]),
+            "wide": BoxStats.from_values([1.0, 1.2, 1.4, 1.6, 1.8]),
+        }
+
+    def test_renders_all_rows(self):
+        out = boxplot_rows(self._stats(), width=40)
+        lines = out.splitlines()
+        assert len(lines) == 3  # axis + 2 rows
+        assert any(line.startswith("narrow") for line in lines)
+        assert any(line.startswith("wide") for line in lines)
+
+    def test_median_marker_present(self):
+        out = boxplot_rows(self._stats(), width=40)
+        for line in out.splitlines()[1:]:
+            assert "M" in line
+
+    def test_rows_sorted_by_median(self):
+        out = boxplot_rows(self._stats(), width=40)
+        lines = out.splitlines()[1:]
+        assert lines[0].startswith("narrow")
+
+    def test_pinned_axis(self):
+        out = boxplot_rows(self._stats(), width=40, lo=1.0, hi=2.0)
+        assert "1.000" in out.splitlines()[0]
+        assert "2.000" in out.splitlines()[0]
+
+    def test_empty_and_validation(self):
+        assert boxplot_rows({}) == "(no data)"
+        with pytest.raises(ValueError):
+            boxplot_rows(self._stats(), width=5)
+
+
+class TestScatter:
+    def test_marker_count_positions(self):
+        out = scatter([(1, 1), (10, 2), (100, 3)], width=20, height=5)
+        assert out.count("o") >= 2  # distinct cells
+
+    def test_log_x(self):
+        out = scatter([(1, 1), (1000, 2)], width=20, height=5, log_x=True)
+        assert "10^" in out
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter([(0.0, 1.0)], log_x=True)
+
+    def test_axis_labels(self):
+        out = scatter([(0, 0), (10, 5)], width=20, height=6)
+        assert "5.00" in out
+        assert "0.00" in out
+
+    def test_empty_and_small_grid(self):
+        assert scatter([]) == "(no data)"
+        with pytest.raises(ValueError):
+            scatter([(1, 1)], width=2, height=2)
+
+    def test_single_point_degenerate_span(self):
+        out = scatter([(5.0, 5.0)], width=10, height=4)
+        assert "o" in out

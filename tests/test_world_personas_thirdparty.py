@@ -1,0 +1,153 @@
+"""World builder, persona, and third-party configuration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecommerce.personas import AFFLUENT, BUDGET, login, train_persona
+from repro.ecommerce.thirdparty import TRACKER_CENSUS, trackers_for_retailer
+from repro.ecommerce.world import (
+    NAMED_RETAILER_SPECS,
+    WorldConfig,
+    build_world,
+    geo_table,
+)
+from repro.net.geoip import GeoLocation
+from repro.net.useragent import profile_for
+from repro.net.vantage import VantagePoint
+
+
+class TestWorldBuild:
+    def test_all_named_retailers_present(self, tiny_world):
+        domains = {spec.domain for spec in NAMED_RETAILER_SPECS}
+        assert domains <= set(tiny_world.retailers)
+
+    def test_crawled_set_is_21(self, tiny_world):
+        assert len(tiny_world.crawled_domains) == 21
+        paper_21 = {
+            "store.killah.com", "store.refrigiwear.it",
+            "www.bookdepository.co.uk", "www.digitalrev.com",
+            "www.energie.it", "www.guess.eu", "www.mauijim.com",
+            "www.misssixty.com", "www.net-a-porter.com",
+            "www.tuscanyleather.it", "store.murphynye.com",
+            "www.elnaturalista.com", "www.chainreactioncycles.com",
+            "www.luisaviaroma.com", "www.scitec-nutrition.es",
+            "www.hotels.com", "www.kobobooks.com", "www.amazon.com",
+            "www.homedepot.com", "www.autotrader.com", "www.rightstart.com",
+        }
+        assert set(tiny_world.crawled_domains) == paper_21
+
+    def test_long_tail_registered(self, tiny_world):
+        for domain in tiny_world.long_tail:
+            assert domain in tiny_world.retailers
+            assert tiny_world.network.resolve(domain) is not None
+
+    def test_dns_resolves_all_shops(self, tiny_world):
+        for domain in list(tiny_world.retailers)[:30]:
+            assert tiny_world.network.resolve(domain)
+
+    def test_persona_sites_registered(self, tiny_world):
+        for persona in (AFFLUENT, BUDGET):
+            for domain in persona.training_sites:
+                assert tiny_world.network.resolve(domain)
+
+    def test_fourteen_vantage_points(self, tiny_world):
+        assert len(tiny_world.vantage_points) == 14
+
+    def test_amazon_sells_kindle_ebooks(self, tiny_world):
+        amazon = tiny_world.retailer("www.amazon.com")
+        assert amazon.supports_login
+        ebooks = [p for p in amazon.catalog if p.category == "ebooks"]
+        assert ebooks
+
+    def test_crowd_weights_cover_all_shops(self, tiny_world):
+        weights = tiny_world.crowd_weights()
+        assert set(weights) == set(tiny_world.retailers)
+        assert weights["www.amazon.com"] > weights["www.digitalrev.com"]
+
+    def test_catalog_scale_shrinks(self):
+        small = build_world(WorldConfig(catalog_scale=0.1, long_tail_domains=0))
+        big_size = dict(
+            (spec.domain, spec.catalog_size) for spec in NAMED_RETAILER_SPECS
+        )
+        for domain, retailer in small.retailers.items():
+            assert len(retailer.catalog) <= max(14, big_size.get(domain, 0))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorldConfig(catalog_scale=0.0)
+        with pytest.raises(ValueError):
+            WorldConfig(long_tail_domains=-1)
+
+    def test_geo_table_shorthand(self):
+        table = geo_table(us=1.0, eu=1.1, fi=1.3, uk=1.05, br=1.02)
+        assert table["US"] == 1.0
+        assert table["DE"] == 1.1
+        assert table["ES"] == 1.1
+        assert table["FI"] == 1.3
+        assert table["GB"] == 1.05
+        assert table["*"] == 1.1  # default follows eu
+
+    def test_deterministic_build(self):
+        a = build_world(WorldConfig(catalog_scale=0.1, long_tail_domains=5))
+        b = build_world(WorldConfig(catalog_scale=0.1, long_tail_domains=5))
+        assert list(a.retailers) == list(b.retailers)
+        pa = a.retailer("www.amazon.com").catalog.products[0]
+        pb = b.retailer("www.amazon.com").catalog.products[0]
+        assert (pa.sku, pa.base_price_usd) == (pb.sku, pb.base_price_usd)
+
+
+class TestTrackers:
+    def test_census_matches_paper(self):
+        by_name = {t.name: t.adoption for t in TRACKER_CENSUS}
+        assert by_name == {
+            "Google Analytics": 0.95, "DoubleClick": 0.65,
+            "Facebook": 0.80, "Pinterest": 0.45, "Twitter": 0.40,
+        }
+
+    def test_assignment_deterministic(self):
+        assert trackers_for_retailer("x.example", seed=1) == trackers_for_retailer(
+            "x.example", seed=1
+        )
+
+    def test_population_frequencies_converge(self):
+        domains = [f"shop{i}.example" for i in range(400)]
+        counts = {t.name: 0 for t in TRACKER_CENSUS}
+        for domain in domains:
+            for tracker in trackers_for_retailer(domain, seed=7):
+                counts[tracker.name] += 1
+        for tracker in TRACKER_CENSUS:
+            rate = counts[tracker.name] / len(domains)
+            assert abs(rate - tracker.adoption) < 0.08
+
+
+class TestPersonas:
+    def _client(self, world, name: str) -> VantagePoint:
+        return VantagePoint(
+            name=name,
+            location=GeoLocation("ES", "Spain", "Barcelona"),
+            ip=world.plan.allocate("ES", "Barcelona"),
+            profile=profile_for("firefox", "linux"),
+        )
+
+    def test_training_sets_interest_cookie(self, fresh_world):
+        client = self._client(fresh_world, "trainee")
+        pages = train_persona(client, AFFLUENT, fresh_world.network, rounds=2)
+        assert pages == 6
+        for domain in AFFLUENT.training_sites:
+            assert client.jar.get(domain, "interest") == "luxury"
+            assert client.jar.get(domain, "visits") == "2"
+
+    def test_login_and_logout(self, fresh_world):
+        from repro.ecommerce.personas import logout
+
+        client = self._client(fresh_world, "buyer")
+        login(client, fresh_world.network, "www.amazon.com", "alice")
+        assert client.jar.get("www.amazon.com", "auth") == "alice"
+        logout(client, "www.amazon.com")
+        assert client.jar.get("www.amazon.com", "auth") is None
+
+    def test_login_fails_on_loginless_shop(self, fresh_world):
+        client = self._client(fresh_world, "buyer")
+        with pytest.raises(RuntimeError):
+            login(client, fresh_world.network, "www.digitalrev.com", "alice")
