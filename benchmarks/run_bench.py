@@ -1,0 +1,191 @@
+"""Standalone pipeline-benchmark entry point.
+
+Runs the measurement-spine benches without pytest and writes
+``BENCH_pipeline.json`` next to this file: mean ms per synchronized check,
+crawl and campaign throughput, and the hit rates of the caches introduced
+by the parse-once fan-out.  Future PRs diff this file for a regression
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--rounds N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+
+def _time_rounds(fn, rounds: int) -> list[float]:
+    """Wall-clock each call of ``fn``, in milliseconds."""
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return samples
+
+
+def _summary(samples: list[float]) -> dict[str, float]:
+    return {
+        "mean_ms": round(statistics.fmean(samples), 4),
+        "min_ms": round(min(samples), 4),
+        "max_ms": round(max(samples), 4),
+        "rounds": len(samples),
+    }
+
+
+def bench_sheriff_check(rounds: int) -> dict[str, object]:
+    """One synchronized 14-vantage-point price check, end to end."""
+    from repro.analysis.personal import derive_anchor_for_domain
+    from repro.core.backend import CheckRequest, SheriffBackend
+    from repro.ecommerce.world import WorldConfig, build_world
+
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    domain = "www.digitalrev.com"
+    anchor = derive_anchor_for_domain(world, domain)
+    product = world.retailer(domain).catalog.products[0]
+    request = CheckRequest(url=f"http://{domain}{product.path}", anchor=anchor)
+
+    for _ in range(5):  # warm caches the way a long-lived backend would
+        backend.check(request)
+    samples = _time_rounds(lambda: backend.check(request), rounds)
+    result = _summary(samples)
+    result["cache_stats"] = backend.cache_stats()
+    server = world.network.resolve(domain)
+    result["render_cache"] = server.render_cache_stats()
+    return result
+
+
+def bench_store_replay(rounds: int) -> dict[str, object]:
+    """Re-extract prices from archived page *strings* (the parse-cache
+    path: no attached document, only serialized bodies)."""
+    from repro.analysis.personal import derive_anchor_for_domain
+    from repro.core.backend import CheckRequest, SheriffBackend
+    from repro.core.extraction import extract_price
+    from repro.ecommerce.world import WorldConfig, build_world
+    from repro.htmlmodel.parser import parse_cache_stats, reset_parse_cache
+
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    domain = "www.digitalrev.com"
+    anchor = derive_anchor_for_domain(world, domain)
+    product = world.retailer(domain).catalog.products[0]
+    backend.check(CheckRequest(url=f"http://{domain}{product.path}",
+                               anchor=anchor))
+    bodies = [page.html for page in backend.store if page.retained]
+    assert bodies
+
+    reset_parse_cache()
+
+    def replay_once():
+        for html in bodies:
+            extracted = extract_price(html, anchor)
+            assert extracted.ok
+
+    samples = _time_rounds(replay_once, rounds)
+    result = _summary(samples)
+    result["pages_per_round"] = len(bodies)
+    result["parse_cache"] = parse_cache_stats()
+    return result
+
+
+def bench_crawl_day(rounds: int) -> dict[str, object]:
+    """A one-day crawl slice: 3 retailers x 5 products x 14 points."""
+    from repro.core.backend import SheriffBackend
+    from repro.crawler import CrawlConfig, build_plan, run_crawl
+    from repro.ecommerce.world import WorldConfig, build_world
+
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    plan = build_plan(world, domains=world.crawled_domains[:3],
+                      products_per_retailer=5)
+    day = iter(range(300, 10_000))
+    checks_per_day = 3 * 5
+
+    datasets = []
+
+    def crawl_once():
+        datasets.append(run_crawl(
+            world, backend, plan, CrawlConfig(days=1, start_day=next(day))
+        ))
+
+    samples = _time_rounds(crawl_once, rounds)
+    assert all(d.n_extracted_prices == checks_per_day * 14 for d in datasets)
+    result = _summary(samples)
+    result["checks_per_day"] = checks_per_day
+    result["checks_per_second"] = round(
+        checks_per_day / (statistics.fmean(samples) / 1000.0), 2
+    )
+    result["cache_stats"] = backend.cache_stats()
+    return result
+
+
+def bench_crowd_checks(rounds: int) -> dict[str, object]:
+    """25 crowd-triggered checks through the extension + backend."""
+    from repro.core.backend import SheriffBackend
+    from repro.crowd import CampaignConfig, run_campaign
+    from repro.ecommerce.world import WorldConfig, build_world
+
+    n_checks = 25
+
+    def run_once():
+        world = build_world(WorldConfig(catalog_scale=0.15, long_tail_domains=10))
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        dataset = run_campaign(
+            world, backend,
+            CampaignConfig(n_checks=n_checks, population_size=20, seed=11),
+        )
+        assert dataset.n_requests == n_checks
+
+    samples = _time_rounds(run_once, rounds)
+    result = _summary(samples)
+    result["checks_per_run"] = n_checks
+    result["checks_per_second"] = round(
+        n_checks / (statistics.fmean(samples) / 1000.0), 2
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=50,
+                        help="rounds for the per-check bench (default 50)")
+    parser.add_argument("--heavy-rounds", type=int, default=3,
+                        help="rounds for crawl/campaign benches (default 3)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).with_name("BENCH_pipeline.json"))
+    args = parser.parse_args(argv)
+
+    from repro.htmlmodel.parser import reset_parse_cache
+
+    reset_parse_cache()
+    report = {
+        "benchmark": "pipeline",
+        "python": sys.version.split()[0],
+        # Measured on the pre-optimization seed tree (same box, same
+        # workloads) -- the "before" of the parse-once fan-out PR.
+        "seed_baseline": {
+            "sheriff_check_mean_ms": 15.08,
+            "crawl_day_mean_ms": 312.0,
+            "crowd_checks_mean_ms": 486.3,
+        },
+        "sheriff_check": bench_sheriff_check(args.rounds),
+        "store_replay": bench_store_replay(args.rounds),
+        "crawl_day": bench_crawl_day(args.heavy_rounds),
+        "crowd_checks": bench_crowd_checks(args.heavy_rounds),
+    }
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

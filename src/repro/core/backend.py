@@ -11,27 +11,40 @@ are returned to the user as a :class:`~repro.core.reports.PriceCheckReport`.
 Transient network failures are retried a bounded number of times; a vantage
 point that stays unreachable yields a failed observation rather than
 aborting the check.
+
+Performance notes (the parse-once fan-out): simulated retailers attach
+their rendered DOM to the response (the *structured-fetch channel*,
+``HttpResponse.document``), so :meth:`SheriffBackend._observe` extracts
+straight from the tree and never re-parses the serialized body it just
+archived.  String-only pages (crowd uploads, store replays) fall back to a
+content-hash-keyed parse cache.  :meth:`SheriffBackend.check_batch` is the
+primitive -- :meth:`SheriffBackend.check` is a batch of one -- and
+amortizes URL parsing and the FX ``max_gap_ratio`` guard across a day's
+burst of checks.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.extraction import extract_price
+from repro.core.extraction import extract_price, extract_price_from_document
 from repro.core.highlight import PriceAnchor
 from repro.core.reports import PriceCheckReport, VantageObservation
 from repro.core.store import PageStore
 from repro.ecommerce.localization import locale_for_country
 from repro.fx.convert import Converter, max_gap_ratio
 from repro.fx.rates import RateService
+from repro.htmlmodel.parser import parse_cache_stats
 from repro.net.clock import SECONDS_PER_DAY
 from repro.net.transport import Network, TransportError
 from repro.net.urls import URL
 from repro.net.vantage import VantagePoint
 
 __all__ = ["CheckRequest", "SheriffBackend"]
+
+_USD_ONLY = frozenset({"USD"})
 
 
 @dataclass(frozen=True)
@@ -67,6 +80,9 @@ class SheriffBackend:
         self.converter = Converter(rates)
         self.store = store if store is not None else PageStore()
         self._check_counter = itertools.count(1)
+        # The guard depends only on (currencies seen, day); a day's burst of
+        # checks over the same retailers recomputes it constantly otherwise.
+        self._guard_cache: dict[tuple[int, frozenset[str]], float] = {}
 
     # ------------------------------------------------------------------
     def check(
@@ -76,31 +92,77 @@ class SheriffBackend:
         vantage_points: Optional[Sequence[VantagePoint]] = None,
     ) -> PriceCheckReport:
         """Run one synchronized price check and return the report."""
+        return self.check_batch([request], vantage_points=vantage_points)[0]
+
+    def check_batch(
+        self,
+        requests: Sequence[CheckRequest],
+        *,
+        vantage_points: Optional[Sequence[VantagePoint]] = None,
+        pacing_seconds: float = 0.0,
+    ) -> list[PriceCheckReport]:
+        """Run a burst of checks, amortizing per-day work across them.
+
+        Checks run in order, each a synchronized fan-out exactly as
+        :meth:`check` performs it (reports are byte-identical to a
+        sequential loop); ``pacing_seconds`` advances the virtual clock
+        after each check (crawler politeness).  Amortized across the batch:
+        URL parsing (memoized), day-index math, and the FX
+        ``max_gap_ratio`` guard (cached per currency-set and day).
+        """
+        if pacing_seconds < 0:
+            raise ValueError("pacing_seconds must be >= 0")
         fleet = list(vantage_points) if vantage_points else self.vantage_points
-        check_id = f"chk{next(self._check_counter):07d}"
-        url = URL.parse(request.url)
-        started = self.network.clock.now
-        day_index = int(started // SECONDS_PER_DAY)
+        reports: list[PriceCheckReport] = []
+        for request in requests:
+            check_id = f"chk{next(self._check_counter):07d}"
+            url = URL.parse(request.url)
+            started = self.network.clock.now
+            day_index = int(started // SECONDS_PER_DAY)
 
-        observations: list[VantageObservation] = []
-        currencies_seen: set[str] = set()
-        for vantage in fleet:
-            observations.append(
-                self._observe(vantage, url, request.anchor, check_id, day_index,
-                              currencies_seen)
-            )
+            observations: list[VantageObservation] = []
+            currencies_seen: set[str] = set()
+            for vantage in fleet:
+                observations.append(
+                    self._observe(vantage, url, request.anchor, check_id,
+                                  day_index, currencies_seen)
+                )
 
-        guard = max_gap_ratio(self.rates, currencies_seen or {"USD"}, [day_index])
-        return PriceCheckReport(
-            check_id=check_id,
-            url=str(url),
-            domain=url.host,
-            day_index=day_index,
-            timestamp=started,
-            observations=observations,
-            guard_threshold=guard,
-            origin=request.origin,
-        )
+            guard = self._guard_threshold(currencies_seen, day_index)
+            reports.append(PriceCheckReport(
+                check_id=check_id,
+                url=str(url),
+                domain=url.host,
+                day_index=day_index,
+                timestamp=started,
+                observations=observations,
+                guard_threshold=guard,
+                origin=request.origin,
+            ))
+            if pacing_seconds:
+                self.network.clock.advance(pacing_seconds)
+        return reports
+
+    def _guard_threshold(self, currencies: set[str], day_index: int) -> float:
+        """Cached ``max_gap_ratio`` -- rates are immutable for a given day."""
+        key = (day_index, frozenset(currencies) if currencies else _USD_ONLY)
+        guard = self._guard_cache.get(key)
+        if guard is None:
+            guard = max_gap_ratio(self.rates, key[1], [day_index])
+            self._guard_cache[key] = guard
+        return guard
+
+    def cache_stats(self) -> dict[str, float]:
+        """Hit/miss statistics of the caches behind the fan-out hot path.
+
+        The ``parse_cache_*`` counters are *process-global* (the parse
+        cache is shared by every backend in the process); the guard and
+        store counters are this instance's own.
+        """
+        stats = {f"parse_cache_{k}": v for k, v in parse_cache_stats().items()}
+        stats["guard_cache_entries"] = len(self._guard_cache)
+        stats.update(self.store.dedup_stats())
+        return stats
 
     # ------------------------------------------------------------------
     def _observe(
@@ -113,21 +175,28 @@ class SheriffBackend:
         currencies_seen: set[str],
     ) -> VantageObservation:
         response = None
-        error = ""
+        errors: list[str] = []
+        attempts = 0
         for _ in range(self.MAX_RETRIES + 1):
+            attempts += 1
             try:
                 response = vantage.fetch(self.network, url)
                 break
             except TransportError as exc:
-                error = str(exc)
+                message = str(exc)
+                # Keep the first distinct cause; a retry that fails the
+                # same way adds nothing to the diagnosis.
+                if message not in errors:
+                    errors.append(message)
         location = vantage.location
         if response is None:
+            cause = errors[0] if errors else "unknown transport failure"
             return VantageObservation(
                 vantage=vantage.name,
                 country_code=location.country_code,
                 city=location.city,
                 ok=False,
-                error=f"network: {error}",
+                error=f"network: {cause} (after {attempts} attempts)",
             )
         if not response.ok:
             return VantageObservation(
@@ -148,7 +217,15 @@ class SheriffBackend:
         )
 
         locale = locale_for_country(location.country_code)
-        extracted = extract_price(response.body, anchor, locale_hint=locale)
+        if response.document is not None:
+            # Structured-fetch fast path: the retailer rendered this tree;
+            # the serialized body was archived above, but there is nothing
+            # to learn from re-parsing it.
+            extracted = extract_price_from_document(
+                response.document, anchor, locale_hint=locale
+            )
+        else:
+            extracted = extract_price(response.body, anchor, locale_hint=locale)
         if not extracted.ok or extracted.amount is None:
             return VantageObservation(
                 vantage=vantage.name,

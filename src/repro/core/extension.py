@@ -25,7 +25,7 @@ from repro.core.highlight import AnchorError, PriceAnchor, derive_anchor
 from repro.core.reports import PriceCheckReport
 from repro.ecommerce.localization import locale_for_country
 from repro.htmlmodel.dom import Document, Element
-from repro.htmlmodel.parser import parse_html
+from repro.htmlmodel.parser import parse_html_cached
 from repro.net.transport import Network, TransportError
 from repro.net.vantage import VantagePoint
 
@@ -80,7 +80,11 @@ class SheriffExtension:
     ) -> CheckOutcome:
         """Run the full §3.1 user flow for one product page.
 
-        ``find_price`` stands in for the user's eyes.  ``referer`` is how
+        ``find_price`` stands in for the user's eyes.  The document it
+        receives may be a *shared* tree (the retailer's render memo or the
+        process-wide parse cache), so it must only read -- never detach,
+        re-parent, or edit nodes; mutations would poison every later check
+        that renders or parses the identical page.  ``referer`` is how
         the *user* arrived at the page; the backend fan-out deliberately
         does not reproduce it (it only receives the bare URI) -- which is
         one of the things the system "cannot control for" per §3.1.
@@ -98,7 +102,12 @@ class SheriffExtension:
             outcome.failure = f"user fetch failed: http {int(response.status)}"
             return outcome
 
-        document = parse_html(response.body)
+        # The structured-fetch channel carries the server's rendered tree;
+        # string-only responses go through the shared parse cache.  Both
+        # are read-only here (highlighting and anchor derivation only read).
+        document = response.document
+        if document is None:
+            document = parse_html_cached(response.body)
         element = find_price(document)
         if element is None:
             outcome.failure = "user could not locate a price on the page"

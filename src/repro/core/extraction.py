@@ -21,15 +21,40 @@ rather than raising: a fan-out must tolerate one bad vantage page.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.core.highlight import PriceAnchor
 from repro.ecommerce.localization import Locale, PriceFormatError, parse_price
 from repro.htmlmodel.dom import Document, Element, NodePath
-from repro.htmlmodel.parser import parse_html
+from repro.htmlmodel.parser import parse_html, parse_html_cached
 from repro.htmlmodel.selectors import Selector, SelectorError
 
 __all__ = ["ExtractedPrice", "extract_price", "extract_price_from_document"]
+
+
+@lru_cache(maxsize=2048)
+def _compiled_selector(text: str) -> Optional[Selector]:
+    """Compile an anchor selector once per distinct string.
+
+    A fan-out applies the same anchor to every vantage page of every check;
+    re-tokenizing the selector grammar each time is pure waste.  Returns
+    ``None`` for unparseable selectors (the anchor then falls back to its
+    structural path).
+    """
+    try:
+        return Selector.parse(text)
+    except SelectorError:
+        return None
+
+
+@lru_cache(maxsize=2048)
+def _parsed_path_steps(text: str) -> Optional[tuple[int, ...]]:
+    """Parse a ``/0/1/3`` structural path once per distinct string."""
+    try:
+        return NodePath.parse(text).steps
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -53,10 +78,17 @@ def extract_price(
     anchor: PriceAnchor,
     *,
     locale_hint: Optional[Locale] = None,
+    cache: bool = True,
 ) -> ExtractedPrice:
-    """Extract the anchored price from an HTML string."""
+    """Extract the anchored price from an HTML string.
+
+    With ``cache`` (the default) the parse goes through the shared
+    content-hash LRU (:func:`repro.htmlmodel.parser.parse_html_cached`):
+    extraction never mutates the tree, so identical page strings -- store
+    replays, promo-free renders, repeated crowd uploads -- parse once.
+    """
     try:
-        document = parse_html(html)
+        document = parse_html_cached(html) if cache else parse_html(html)
     except Exception as exc:  # parser recovers from almost anything
         return ExtractedPrice.failure(f"unparseable page: {exc}")
     return extract_price_from_document(document, anchor, locale_hint=locale_hint)
@@ -93,10 +125,8 @@ def _resolve(
 ) -> tuple[Optional[Element], str]:
     """Selector first, structural path as fallback."""
     if anchor.selector:
-        try:
-            matches = Selector.parse(anchor.selector).select(document)
-        except SelectorError:
-            matches = []
+        selector = _compiled_selector(anchor.selector)
+        matches = selector.select(document) if selector is not None else []
         if len(matches) == 1:
             return matches[0], "selector"
         if len(matches) > 1:
@@ -119,10 +149,7 @@ def _resolve(
 
 
 def _path_steps(anchor: PriceAnchor) -> Optional[tuple[int, ...]]:
-    try:
-        return NodePath.parse(anchor.node_path).steps
-    except ValueError:
-        return None
+    return _parsed_path_steps(anchor.node_path)
 
 
 def _path_distance(a: tuple[int, ...], b: tuple[int, ...]) -> int:

@@ -5,6 +5,12 @@ full HTML bodies retained per domain: the third-party census (§4.4) needs a
 handful of pages per retailer, while a paper-scale crawl would otherwise
 hold ~200K pages of HTML in memory.  The cap is a store policy, not a
 caller concern.
+
+Retained bodies are deduplicated by content: a promo-free retailer renders
+byte-identical pages to every vantage point of a burst, so the store
+interns equal strings and all duplicate archives share one object.  The
+:class:`ArchivedPage` API is unchanged -- ``page.html`` is always the full
+text of what was fetched.
 """
 
 from __future__ import annotations
@@ -40,6 +46,10 @@ class PageStore:
         self.html_per_domain = html_per_domain
         self._pages: list[ArchivedPage] = []
         self._html_counts: dict[str, int] = {}
+        # Content interning pool: maps an HTML string to its first-seen
+        # instance, so equal bodies are stored once (str is immutable).
+        self._interned: dict[str, str] = {}
+        self._dedup_hits = 0
 
     # ------------------------------------------------------------------
     def archive(
@@ -52,9 +62,22 @@ class PageStore:
         timestamp: float,
         html: str,
     ) -> ArchivedPage:
-        """Store one fetched page, retaining HTML if under the domain cap."""
+        """Store one fetched page, retaining HTML if under the domain cap.
+
+        Retained HTML is interned: when an identical body was archived
+        before, the new page references the existing string instead of
+        holding a redundant copy (paper-scale crawls archive ~200K pages,
+        most of them byte-identical across vantage points).
+        """
         count = self._html_counts.get(domain, 0)
         keep = count < self.html_per_domain
+        if keep:
+            interned = self._interned.get(html)
+            if interned is not None:
+                self._dedup_hits += 1
+                html = interned
+            else:
+                self._interned[html] = html
         page = ArchivedPage(
             check_id=check_id,
             url=url,
@@ -93,7 +116,20 @@ class PageStore:
         """How many archived pages still carry their full HTML."""
         return sum(1 for page in self._pages if page.retained)
 
+    def unique_html_count(self) -> int:
+        """How many *distinct* HTML bodies the retained pages share."""
+        return len(self._interned)
+
+    def dedup_stats(self) -> dict[str, int]:
+        """Archive dedup counters (for performance reports)."""
+        return {
+            "store_unique_bodies": len(self._interned),
+            "store_dedup_hits": self._dedup_hits,
+        }
+
     def clear(self) -> None:
         """Drop every archived page and reset the retention counters."""
         self._pages.clear()
         self._html_counts.clear()
+        self._interned.clear()
+        self._dedup_hits = 0

@@ -72,6 +72,11 @@ def run_campaign(
 
     The world's virtual clock is advanced through the campaign window, so
     checks carry realistic timestamps (and FX rates move under them).
+    Each check flows through the backend's batched submission path
+    (:meth:`~repro.core.backend.SheriffBackend.check_batch` -- of which
+    :meth:`check` is a batch of one), sharing its guard and URL caches;
+    checks cannot be batched *across* user clicks because displayed prices
+    depend on the virtual timestamp at which each click happens.
     """
     config = config or CampaignConfig()
     rng = stable_rng(config.seed, "campaign")

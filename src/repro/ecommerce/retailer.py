@@ -22,6 +22,7 @@ sets an auth cookie), anything else 404.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -37,6 +38,7 @@ from repro.ecommerce.templates import (
 )
 from repro.ecommerce.thirdparty import ThirdParty
 from repro.fx.rates import RateService
+from repro.htmlmodel.dom import Document
 from repro.htmlmodel.serialize import to_html
 from repro.net.clock import SECONDS_PER_DAY
 from repro.net.geoip import GeoIPDatabase, GeoLocation
@@ -46,6 +48,10 @@ from repro.util import stable_hash, stable_rng
 __all__ = ["Retailer", "RetailerServer"]
 
 _INDEX_LISTING_CAP = 250
+
+#: Per-server render memo entries (LRU); a retailer rarely shows more than
+#: a few hundred live (sku, locale, price) combinations at once.
+_RENDER_CACHE_MAX = 256
 
 
 @dataclass(frozen=True)
@@ -91,6 +97,27 @@ class RetailerServer:
         self._rates = rates
         self._seed = seed
         self._request_count = 0
+        #: sku -> decoy picks; the pick RNG is keyed only by (seed, domain,
+        #: sku), so the selection is request-independent and cacheable.
+        self._reco_picks: dict[str, list[Product]] = {}
+        # Render memo: templates are pure functions of the view, so two
+        # requests that price identically (the common, promo-free case)
+        # produce byte-identical pages.  Keyed by every view field that can
+        # vary between requests; the cached tree/string are shared and
+        # treated as read-only by all consumers.
+        self._render_cache: "OrderedDict[tuple, tuple[Document, str]]" = (
+            OrderedDict()
+        )
+        self._render_hits = 0
+        self._render_misses = 0
+
+    def render_cache_stats(self) -> dict[str, int]:
+        """Render-memo counters (for performance reports)."""
+        return {
+            "render_hits": self._render_hits,
+            "render_misses": self._render_misses,
+            "render_entries": len(self._render_cache),
+        }
 
     # ------------------------------------------------------------------
     def handle(self, request: HttpRequest) -> HttpResponse:
@@ -169,21 +196,52 @@ class RetailerServer:
         decimals = 0 if locale.currency.code == "JPY" else 2
         price_text = locale.format_price(amount, decimals=decimals)
 
-        view = ProductView(
-            retailer_name=self.retailer.name,
-            domain=self.retailer.domain,
-            product=product,
-            price_text=price_text,
-            locale=locale,
-            recommended=self._recommended(product, ctx, locale),
-            trackers=self.retailer.trackers,
-            structural_seed=stable_hash(
-                self._seed, self.retailer.domain, product.sku, ctx.day_index
-            ),
-            logged_in_user=ctx.identity if ctx.logged_in else None,
+        recommended = self._recommended(product, ctx, locale)
+        structural_seed = stable_hash(
+            self._seed, self.retailer.domain, product.sku, ctx.day_index
         )
-        html = to_html(self.retailer.template.render(view))
-        response = HttpResponse.html(html)
+        logged_in_user = ctx.identity if ctx.logged_in else None
+
+        # Templates are pure functions of the view, so the render (and its
+        # serialization) can be memoized on every view field that varies
+        # between requests.  Promo-free retailers serve byte-identical
+        # pages to a whole fan-out burst; only the first request pays the
+        # render.
+        cache_key = (
+            product.sku,
+            price_text,
+            tuple((pick.sku, text) for pick, text in recommended),
+            locale,
+            structural_seed,
+            logged_in_user,
+        )
+        cached = self._render_cache.get(cache_key)
+        if cached is not None:
+            self._render_hits += 1
+            self._render_cache.move_to_end(cache_key)
+            tree, html = cached
+        else:
+            self._render_misses += 1
+            view = ProductView(
+                retailer_name=self.retailer.name,
+                domain=self.retailer.domain,
+                product=product,
+                price_text=price_text,
+                locale=locale,
+                recommended=recommended,
+                trackers=self.retailer.trackers,
+                structural_seed=structural_seed,
+                logged_in_user=logged_in_user,
+            )
+            # Render once; serialize for the wire (the archive stays
+            # byte-faithful) and keep the tree so in-process consumers can
+            # skip re-parsing (the structured-fetch channel).
+            tree = self.retailer.template.render(view)
+            html = to_html(tree)
+            self._render_cache[cache_key] = (tree, html)
+            while len(self._render_cache) > _RENDER_CACHE_MAX:
+                self._render_cache.popitem(last=False)
+        response = HttpResponse.html(html, document=tree)
         if "session" not in request.cookies:
             session_id = f"s{stable_hash(self._seed, request.client_ip, request.timestamp) % 10**12}"
             response.headers.add(
@@ -198,9 +256,12 @@ class RetailerServer:
         catalog = self.retailer.catalog
         if len(catalog) <= 1:
             return []
-        rng = stable_rng(self._seed, self.retailer.domain, product.sku, "reco")
-        pool = [p for p in catalog if p.sku != product.sku]
-        picks = pool if len(pool) <= 4 else rng.sample(pool, 4)
+        picks = self._reco_picks.get(product.sku)
+        if picks is None:
+            rng = stable_rng(self._seed, self.retailer.domain, product.sku, "reco")
+            pool = [p for p in catalog if p.sku != product.sku]
+            picks = pool if len(pool) <= 4 else rng.sample(pool, 4)
+            self._reco_picks[product.sku] = picks
         out = []
         decimals = 0 if locale.currency.code == "JPY" else 2
         for pick in picks:
@@ -213,12 +274,10 @@ class RetailerServer:
         location = self._client_location(request)
         locale = self._display_locale(location)
         products = self.retailer.catalog.products[:_INDEX_LISTING_CAP]
-        html = to_html(
-            render_index_page(
-                self.retailer.name, self.retailer.domain, products, locale=locale
-            )
+        tree = render_index_page(
+            self.retailer.name, self.retailer.domain, products, locale=locale
         )
-        return HttpResponse.html(html)
+        return HttpResponse.html(to_html(tree), document=tree)
 
     def _checkout(self, request: HttpRequest, sku: str) -> HttpResponse:
         """The itemized quote: displayed price + shipping + VAT."""
@@ -245,7 +304,7 @@ class RetailerServer:
                 self._display_amount(usd, locale, day), decimals=decimals
             )
 
-        html = to_html(render_checkout_page(
+        tree = render_checkout_page(
             self.retailer.name,
             product,
             item_text=render_amount(item_usd),
@@ -253,8 +312,8 @@ class RetailerServer:
             tax_text=render_amount(tax_usd),
             total_text=render_amount(item_usd + shipping_usd + tax_usd),
             locale=locale,
-        ))
-        return HttpResponse.html(html)
+        )
+        return HttpResponse.html(to_html(tree), document=tree)
 
     def _login(self, request: HttpRequest) -> HttpResponse:
         """Toy login: ``GET /login?user=alice`` sets the auth cookie."""

@@ -19,7 +19,13 @@ anchors (``#price``, ``div.product-price > span.amount``, ``[itemprop=price]``).
 """
 
 from repro.htmlmodel.dom import Document, Element, NodePath, Text
-from repro.htmlmodel.parser import HTMLParseError, parse_html
+from repro.htmlmodel.parser import (
+    HTMLParseError,
+    parse_cache_stats,
+    parse_html,
+    parse_html_cached,
+    reset_parse_cache,
+)
 from repro.htmlmodel.selectors import Selector, SelectorError, select, select_one
 from repro.htmlmodel.serialize import to_html
 
@@ -31,7 +37,10 @@ __all__ = [
     "Selector",
     "SelectorError",
     "Text",
+    "parse_cache_stats",
     "parse_html",
+    "parse_html_cached",
+    "reset_parse_cache",
     "select",
     "select_one",
     "to_html",

@@ -32,13 +32,16 @@ def E(tag: str, attrs: Optional[dict[str, str]] = None, *children: Child) -> Ele
     String children are wrapped into text nodes for convenience.
     """
     element = Element(tag, attrs)
+    attach = element.children.append
     for child in children:
         if isinstance(child, str):
-            element.append(Text(child))
-        elif isinstance(child, Node):
-            element.append(child)
-        else:
+            child = Text(child)
+        elif not isinstance(child, Node):
             raise TypeError(f"cannot append {type(child).__name__} to <{tag}>")
+        elif child.parent is not None:
+            child.parent.remove(child)
+        child.parent = element
+        attach(child)
     return element
 
 

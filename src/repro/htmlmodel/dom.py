@@ -68,7 +68,7 @@ class Text(Node):
     __slots__ = ("data",)
 
     def __init__(self, data: str) -> None:
-        super().__init__()
+        self.parent = None  # inline Node.__init__ (hot allocation path)
         self.data = data
 
     def __repr__(self) -> str:
@@ -82,7 +82,7 @@ class _ParentNode(Node):
     __slots__ = ("children",)
 
     def __init__(self) -> None:
-        super().__init__()
+        self.parent = None  # inline Node.__init__ (hot allocation path)
         self.children: list[Node] = []
 
     def append(self, node: Node) -> Node:
@@ -120,9 +120,23 @@ class _ParentNode(Node):
 
     def iter_elements(self) -> Iterator["Element"]:
         """Yield descendant elements (and self if an element) in order."""
-        for node in self.iter():
-            if isinstance(node, Element):
-                yield node
+        # Iterative preorder walk: this runs once per selector application
+        # per fetched page, so it avoids the nested-generator overhead of
+        # delegating to :meth:`iter`.
+        stack: list[Element] = (
+            [self]  # type: ignore[list-item]
+            if isinstance(self, Element)
+            else [c for c in reversed(self.children) if isinstance(c, Element)]
+        )
+        pop = stack.pop
+        while stack:
+            element = pop()
+            yield element
+            children = element.children
+            if children:
+                stack.extend(
+                    [c for c in reversed(children) if isinstance(c, Element)]
+                )
 
     def child_elements(self) -> list["Element"]:
         """Direct children that are elements."""
@@ -160,9 +174,12 @@ class Element(_ParentNode):
     __slots__ = ("tag", "attrs")
 
     def __init__(self, tag: str, attrs: Optional[dict[str, str]] = None) -> None:
-        super().__init__()
+        # Inline the base initializers: elements are allocated by the
+        # thousand per rendered page, and the super() chain dominates.
+        self.parent = None
+        self.children = []
         self.tag = tag.lower()
-        self.attrs: dict[str, str] = dict(attrs or {})
+        self.attrs: dict[str, str] = dict(attrs) if attrs else {}
 
     # ------------------------------------------------------------------
     # Attribute conveniences

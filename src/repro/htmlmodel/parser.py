@@ -13,18 +13,31 @@ emit plus the mess real-world templates tend to contain:
   an exception (crowd-sourced pages are not schema-validated).
 
 The interface is a single function :func:`parse_html` returning a
-:class:`~repro.htmlmodel.dom.Document`.
+:class:`~repro.htmlmodel.dom.Document`, plus :func:`parse_html_cached` --
+a content-hash-keyed LRU in front of it for callers that repeatedly parse
+identical strings (crowd uploads, :class:`~repro.core.store.PageStore`
+replays, promo-free renders).  Cached documents are shared between callers
+and must be treated as read-only.
 """
 
 from __future__ import annotations
 
+import hashlib
 import re
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.htmlmodel.dom import Document, Element, Text
 
-__all__ = ["parse_html", "HTMLParseError", "decode_entities"]
+__all__ = [
+    "parse_html",
+    "parse_html_cached",
+    "parse_cache_stats",
+    "reset_parse_cache",
+    "HTMLParseError",
+    "decode_entities",
+]
 
 
 class HTMLParseError(ValueError):
@@ -86,6 +99,8 @@ def decode_entities(text: str) -> str:
 
     Unknown named entities are left intact (browser-like leniency).
     """
+    if "&" not in text:
+        return text
 
     def _sub(match: re.Match[str]) -> str:
         body = match.group(1)
@@ -202,26 +217,35 @@ class _Tokenizer:
 
     def _consume_attrs(self, pos: int) -> tuple[dict[str, str], int, bool]:
         html = self.html
+        length = self.length
         attrs: dict[str, str] = {}
-        while pos < self.length:
-            # End of tag?
-            stripped = pos
-            while stripped < self.length and html[stripped] in " \t\r\n":
-                stripped += 1
-            if stripped < self.length and html.startswith("/>", stripped):
-                return attrs, stripped + 2, True
-            if stripped < self.length and html[stripped] == ">":
-                return attrs, stripped + 1, False
+        while pos < length:
+            # Skip whitespace once, then decide: end of tag or attribute.
+            while pos < length and html[pos] in " \t\r\n":
+                pos += 1
+            if pos >= length:
+                break
+            char = html[pos]
+            if char == ">":
+                return attrs, pos + 1, False
+            if char == "/" and html.startswith("/>", pos):
+                return attrs, pos + 2, True
             match = _ATTR_RE.match(html, pos)
             if match is None or match.end() == pos:
-                pos = stripped + 1  # skip junk character
+                pos += 1  # skip junk character
                 continue
             name = match.group(1).lower()
-            value = next((g for g in match.groups()[1:] if g is not None), "")
+            value = match.group(2)
+            if value is None:
+                value = match.group(3)
+            if value is None:
+                value = match.group(4)
+            if value is None:
+                value = ""
             if name not in attrs:
                 attrs[name] = decode_entities(value)
             pos = match.end()
-        return attrs, self.length, False
+        return attrs, length, False
 
     def _consume_raw_text(self, tag: str) -> tuple[str, Optional[_EndTag]]:
         close = f"</{tag}"
@@ -266,7 +290,6 @@ def parse_html(html: str) -> Document:
             else:
                 parent.append(Text(decode_entities(token.data)))
         elif isinstance(token, _StartTag):
-            closers = _IMPLIED_CLOSERS.get  # local alias
             # Implied closes: a new <li> terminates an open <li>, etc.
             while stack:
                 openers = _IMPLIED_CLOSERS.get(stack[-1].tag)
@@ -288,3 +311,76 @@ def parse_html(html: str) -> Document:
                     break
             # else: stray end tag, dropped.
     return document
+
+
+# ----------------------------------------------------------------------
+# Content-hash-keyed parse cache
+# ----------------------------------------------------------------------
+@dataclass
+class _ParseCacheStats:
+    """Hit/miss counters for :func:`parse_html_cached`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+#: Maximum number of parsed documents retained (least recently used evicted).
+PARSE_CACHE_MAX = 512
+
+_parse_cache: "OrderedDict[bytes, Document]" = OrderedDict()
+_parse_stats = _ParseCacheStats()
+
+
+def _content_key(html: str) -> bytes:
+    return hashlib.blake2b(
+        html.encode("utf-8", "surrogatepass"), digest_size=16
+    ).digest()
+
+
+def parse_html_cached(html: str) -> Document:
+    """Parse ``html``, reusing the tree of an earlier identical string.
+
+    Keys the LRU by a 128-bit content hash, so two distinct string objects
+    with equal content (a crowd upload and a store replay, say) share one
+    parsed :class:`Document`.  The returned tree is shared between all
+    callers with equal input -- treat it as read-only.  Callers that need a
+    private, mutable tree must use :func:`parse_html` directly.
+    """
+    key = _content_key(html)
+    cached = _parse_cache.get(key)
+    if cached is not None:
+        _parse_stats.hits += 1
+        _parse_cache.move_to_end(key)
+        return cached
+    _parse_stats.misses += 1
+    document = parse_html(html)
+    _parse_cache[key] = document
+    while len(_parse_cache) > PARSE_CACHE_MAX:
+        _parse_cache.popitem(last=False)
+    return document
+
+
+def parse_cache_stats() -> dict[str, float]:
+    """Current hit/miss counters of the shared parse cache."""
+    stats = _parse_stats.snapshot()
+    stats["entries"] = len(_parse_cache)
+    return stats
+
+
+def reset_parse_cache() -> None:
+    """Drop every cached document and zero the counters (test isolation)."""
+    _parse_cache.clear()
+    _parse_stats.hits = 0
+    _parse_stats.misses = 0

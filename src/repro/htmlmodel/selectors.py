@@ -72,15 +72,25 @@ class _Compound:
     last_of_type: bool = False
 
     def match(self, element: Element) -> bool:
-        if self.tag is not None and self.tag != "*" and element.tag != self.tag:
+        # Hot path: this runs for every element of every fetched page, so
+        # the common tests use plain loops over (usually empty) tuples
+        # rather than generator expressions.
+        tag = self.tag
+        if tag is not None and tag != "*" and element.tag != tag:
             return False
-        if any(element.id != i for i in self.ids):
-            return False
-        classes = element.classes
-        if any(c not in classes for c in self.classes):
-            return False
-        if any(not test.match(element) for test in self.attrs):
-            return False
+        if self.ids:
+            element_id = element.attrs.get("id")
+            for wanted in self.ids:
+                if element_id != wanted:
+                    return False
+        if self.classes:
+            classes = element.attrs.get("class", "").split()
+            for wanted in self.classes:
+                if wanted not in classes:
+                    return False
+        for test in self.attrs:
+            if not test.match(element):
+                return False
         if self.nth_of_type is not None and not self._match_nth(element):
             return False
         if self.nth_child is not None and not self._match_nth_child(element):
@@ -153,10 +163,12 @@ class Selector:
     # ------------------------------------------------------------------
     def matches(self, element: Element) -> bool:
         """True if ``element`` matches any group of this selector."""
-        return any(self._match_group(group, element) for group in self.groups)
-
-    def _match_group(self, group: Sequence[_Step], element: Element) -> bool:
-        return self._match_from(group, len(group) - 1, element)
+        # Plain loop (not any()+genexpr): this runs once per element per
+        # selector application, the hottest spot of the extraction path.
+        for group in self.groups:
+            if self._match_from(group, len(group) - 1, element):
+                return True
+        return False
 
     def _match_from(self, group: Sequence[_Step], idx: int, element: Element) -> bool:
         step = group[idx]
@@ -192,13 +204,12 @@ class Selector:
     # ------------------------------------------------------------------
     def select(self, root: Union[Document, Element]) -> list[Element]:
         """All elements under ``root`` (excluding root) matching, in order."""
-        out = []
-        for element in root.iter_elements():
-            if element is root:
-                continue
-            if self.matches(element):
-                out.append(element)
-        return out
+        matches = self.matches
+        return [
+            element
+            for element in root.iter_elements()
+            if element is not root and matches(element)
+        ]
 
     def select_one(self, root: Union[Document, Element]) -> Optional[Element]:
         """First matching element in document order, or ``None``."""

@@ -21,15 +21,25 @@ _ATTR_ESCAPES = {"&": "&amp;", '"': "&quot;", "<": "&lt;", ">": "&gt;"}
 
 def escape_text(data: str) -> str:
     """Escape character data for element content."""
-    for char, entity in _TEXT_ESCAPES.items():
-        data = data.replace(char, entity)
+    if "&" in data:
+        data = data.replace("&", "&amp;")
+    if "<" in data:
+        data = data.replace("<", "&lt;")
+    if ">" in data:
+        data = data.replace(">", "&gt;")
     return data
 
 
 def escape_attr(data: str) -> str:
     """Escape character data for a double-quoted attribute value."""
-    for char, entity in _ATTR_ESCAPES.items():
-        data = data.replace(char, entity)
+    if "&" in data:
+        data = data.replace("&", "&amp;")
+    if '"' in data:
+        data = data.replace('"', "&quot;")
+    if "<" in data:
+        data = data.replace("<", "&lt;")
+    if ">" in data:
+        data = data.replace(">", "&gt;")
     return data
 
 
@@ -41,26 +51,28 @@ def to_html(node: Union[Document, Element, Text, Node]) -> str:
 
 
 def _serialize(node: Node, parts: list[str], raw: bool) -> None:
+    if isinstance(node, Element):
+        tag = node.tag
+        append = parts.append
+        append(f"<{tag}")
+        for name, value in node.attrs.items():
+            if value == "":
+                append(f" {name}")
+            else:
+                append(f' {name}="{escape_attr(value)}"')
+        append(">")
+        if tag in VOID_ELEMENTS:
+            return
+        child_raw = tag in RAW_TEXT_ELEMENTS
+        for child in node.children:
+            _serialize(child, parts, raw=child_raw)
+        append(f"</{tag}>")
+        return
     if isinstance(node, Text):
         parts.append(node.data if raw else escape_text(node.data))
         return
     if isinstance(node, Document):
         for child in node.children:
             _serialize(child, parts, raw=False)
-        return
-    if isinstance(node, Element):
-        parts.append(f"<{node.tag}")
-        for name, value in node.attrs.items():
-            if value == "":
-                parts.append(f" {name}")
-            else:
-                parts.append(f' {name}="{escape_attr(value)}"')
-        parts.append(">")
-        if node.tag in VOID_ELEMENTS:
-            return
-        child_raw = node.tag in RAW_TEXT_ELEMENTS
-        for child in node.children:
-            _serialize(child, parts, raw=child_raw)
-        parts.append(f"</{node.tag}>")
         return
     raise TypeError(f"cannot serialize {type(node).__name__}")

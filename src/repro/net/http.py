@@ -13,9 +13,12 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.net.urls import URL
+
+if TYPE_CHECKING:  # structured-fetch channel; avoids a hard layer dependency
+    from repro.htmlmodel.dom import Document
 
 __all__ = [
     "Headers",
@@ -211,13 +214,24 @@ def parse_cookie_header(header: str) -> dict[str, str]:
 
 @dataclass
 class HttpResponse:
-    """A simulated HTTP response."""
+    """A simulated HTTP response.
+
+    ``document`` is the structured-fetch channel: a server that *renders* a
+    DOM tree may attach it alongside the serialized ``body`` so in-process
+    consumers (the $heriff backend fan-out) can skip re-parsing the wire
+    text.  The body remains the byte-faithful archival representation; the
+    attached tree is shared and must be treated as read-only.
+    """
 
     status: HttpStatus
     headers: Headers = field(default_factory=Headers)
     body: str = ""
     url: Optional[URL] = None  # final URL after redirects
     elapsed: float = 0.0  # virtual seconds from request to response
+    #: Parsed/rendered DOM of ``body``, when the server kept it (read-only).
+    document: Optional["Document"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def content_type(self) -> str:
@@ -238,12 +252,23 @@ class HttpResponse:
         return self.status.is_success
 
     @classmethod
-    def html(cls, body: str, *, status: HttpStatus = HttpStatus.OK) -> "HttpResponse":
-        """Convenience constructor for an HTML page response."""
+    def html(
+        cls,
+        body: str,
+        *,
+        status: HttpStatus = HttpStatus.OK,
+        document: Optional["Document"] = None,
+    ) -> "HttpResponse":
+        """Convenience constructor for an HTML page response.
+
+        ``document`` optionally attaches the already-built DOM of ``body``
+        (the structured-fetch channel) so in-process consumers need not
+        re-parse the serialized text.
+        """
         headers = Headers()
         headers.set("Content-Type", "text/html; charset=utf-8")
         headers.set("Content-Length", str(len(body.encode("utf-8"))))
-        return cls(status=status, headers=headers, body=body)
+        return cls(status=status, headers=headers, body=body, document=document)
 
     @classmethod
     def not_found(cls, message: str = "not found") -> "HttpResponse":

@@ -6,6 +6,13 @@ the network resolves the hostname, applies per-hop latency (seeded jitter),
 stamps virtual-clock timestamps, follows redirects, and returns the
 response.  Packet loss can be enabled to exercise the retry paths in the
 crawler and $heriff backend.
+
+Structured-fetch channel: responses travel with both the serialized HTML
+body (the byte-faithful wire/archive representation) and, when the origin
+server rendered a DOM tree, the tree itself
+(:attr:`~repro.net.http.HttpResponse.document`).  The network forwards
+responses as-is, so the attached tree survives routing and redirects and
+lets in-process consumers skip re-parsing the body they just received.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Iterable, Optional
 
 __all__ = ["URL", "URLError", "urljoin", "parse_query", "encode_query"]
@@ -105,10 +106,18 @@ class URL:
     # ------------------------------------------------------------------
     @classmethod
     def parse(cls, text: str) -> "URL":
-        """Parse an absolute URL string."""
+        """Parse an absolute URL string.
+
+        Results are memoized: the backend and crawler parse the same exact
+        URIs over and over (once per vantage point per day), and ``URL`` is
+        immutable, so sharing one instance per distinct string is safe.
+        """
         if not isinstance(text, str) or not text.strip():
             raise URLError("empty URL")
-        text = text.strip()
+        return _parse_cached(text.strip())
+
+    @classmethod
+    def _parse_uncached(cls, text: str) -> "URL":
         match = _SCHEME_RE.match(text)
         if match is None:
             raise URLError(f"URL has no scheme: {text!r}")
@@ -186,6 +195,12 @@ class URL:
         if self.fragment:
             out.append("#" + _percent_encode(self.fragment))
         return "".join(out)
+
+
+@lru_cache(maxsize=4096)
+def _parse_cached(text: str) -> URL:
+    """Memoized absolute-URL parse (``URL`` instances are immutable)."""
+    return URL._parse_uncached(text)
 
 
 def _percent_decode_path(path: str) -> str:

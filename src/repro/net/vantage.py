@@ -48,17 +48,18 @@ class VantagePoint:
     ) -> HttpRequest:
         """An HTTP GET for ``url`` carrying this point's identity."""
         if isinstance(url, str):
-            url = URL.parse(url)
+            url = URL.parse(url)  # memoized; bursts re-fetch the same URI
+        # Fresh header map: plain adds (no duplicates to replace yet).
         headers = Headers()
-        headers.set("Host", url.host)
-        headers.set("User-Agent", self.profile.user_agent)
-        headers.set("Accept", "text/html,application/xhtml+xml")
-        headers.set("Accept-Language", self.profile.accept_language)
+        headers.add("Host", url.host)
+        headers.add("User-Agent", self.profile.user_agent)
+        headers.add("Accept", "text/html,application/xhtml+xml")
+        headers.add("Accept-Language", self.profile.accept_language)
         cookie = self.jar.header_for(url, now=now)
         if cookie:
-            headers.set("Cookie", cookie)
+            headers.add("Cookie", cookie)
         if referer:
-            headers.set("Referer", referer)
+            headers.add("Referer", referer)
         return HttpRequest(
             method="GET",
             url=url,

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
 import subprocess
 import sys
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+import repro
 from repro.util import stable_choice, stable_hash, stable_rng, stable_uniform
 
 
@@ -22,11 +25,19 @@ class TestStableHash:
     def test_stable_across_processes(self):
         """The whole point: no PYTHONHASHSEED dependence."""
         code = "from repro.util import stable_hash; print(stable_hash('seed', 42))"
+        # The spawned interpreter inherits nothing: give it an explicit
+        # import path to the package under test or the run exits 1 and the
+        # round-trip check never exercises hash stability.
+        package_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
         outputs = {
             subprocess.run(
                 [sys.executable, "-c", code],
                 capture_output=True, text=True, check=True,
-                env={"PYTHONHASHSEED": str(i), "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": str(i),
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": os.pathsep.join([package_root] + sys.path),
+                },
             ).stdout.strip()
             for i in (0, 1)
         }
