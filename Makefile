@@ -1,0 +1,29 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree package (PYTHONPATH=src); no installation step.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test docs-check bench examples
+
+# Tier-1: the full test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Docs cannot rot: every symbol and CLI flag named in docs/API.md must
+# resolve against the live code.
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs_api.py -q
+
+# Refresh benchmarks/BENCH_pipeline.json (per-check, crawl/campaign
+# throughput, workers scaling curve).
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+# Run every example (docs/EXAMPLES.md shows expected output).
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/crowd_campaign.py
+	$(PYTHON) examples/systematic_crawl.py
+	$(PYTHON) examples/currency_guard_demo.py
+	$(PYTHON) examples/kindle_login_study.py

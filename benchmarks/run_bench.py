@@ -127,6 +127,75 @@ def bench_crawl_day(rounds: int) -> dict[str, object]:
     return result
 
 
+def bench_crawl_day_scaling(rounds: int) -> dict[str, object]:
+    """One crawl day (6 retailers x 6 products x 14 points) per executor.
+
+    Each configuration keeps its executor (and, for process mode, its
+    worker pool with per-process rebuilt worlds) warm across rounds, the
+    way a multi-day crawl would.  Every configuration's reports are
+    asserted byte-identical to the sequential baseline -- the scaling
+    curve never trades correctness.
+    """
+    import json
+    import os
+
+    from repro.core.backend import SheriffBackend
+    from repro.crawler import CrawlConfig, build_plan, run_crawl
+    from repro.ecommerce.world import WorldConfig, build_world
+    from repro.exec import ExecConfig
+    from repro.io import report_to_dict
+
+    configs = (
+        ("workers1_sequential", ExecConfig(workers=1, mode="local")),
+        ("workers2_local", ExecConfig(workers=2, mode="local")),
+        ("workers2_process", ExecConfig(workers=2, mode="process")),
+        ("workers4_process", ExecConfig(workers=4, mode="process")),
+    )
+    checks_per_day = 6 * 6
+    results: dict[str, object] = {"cpu_count": os.cpu_count()}
+    blobs: dict[str, str] = {}
+    for label, exec_config in configs:
+        world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+        backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+        plan = build_plan(world, domains=world.crawled_domains[:6],
+                          products_per_retailer=6)
+        executor = exec_config.create(world)
+        day = iter(range(300, 10_000))
+        datasets = []
+
+        def crawl_once():
+            datasets.append(run_crawl(
+                world, backend, plan,
+                CrawlConfig(days=1, start_day=next(day)),
+                executor=executor,
+            ))
+
+        try:
+            crawl_once()  # warm executor pool / caches, untimed
+            samples = _time_rounds(crawl_once, rounds)
+        finally:
+            if executor is not None:
+                executor.close()
+        if any(d.n_extracted_prices != checks_per_day * 14 for d in datasets):
+            raise RuntimeError(f"{label}: crawl lost extractions")
+        blobs[label] = json.dumps(
+            [report_to_dict(r) for d in datasets for r in d.reports],
+            sort_keys=True,
+        )
+        entry = _summary(samples)
+        entry["checks_per_second"] = round(
+            checks_per_day / (statistics.fmean(samples) / 1000.0), 2
+        )
+        results[label] = entry
+    baseline = blobs["workers1_sequential"]
+    identical = all(blob == baseline for blob in blobs.values())
+    if not identical:
+        raise RuntimeError("sharded crawl diverged from sequential bytes")
+    results["checks_per_day"] = checks_per_day
+    results["byte_identical_across_configs"] = identical
+    return results
+
+
 def bench_crowd_checks(rounds: int) -> dict[str, object]:
     """25 crowd-triggered checks through the extension + backend."""
     from repro.core.backend import SheriffBackend
@@ -179,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         "sheriff_check": bench_sheriff_check(args.rounds),
         "store_replay": bench_store_replay(args.rounds),
         "crawl_day": bench_crawl_day(args.heavy_rounds),
+        "crawl_day_scaling": bench_crawl_day_scaling(args.heavy_rounds),
         "crowd_checks": bench_crowd_checks(args.heavy_rounds),
     }
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -3,12 +3,18 @@ Price Discrimination in E-Commerce: First results" (CoNEXT 2013).
 
 The package implements the paper's full measurement system -- the $heriff
 browser extension + backend (:mod:`repro.core`), the crowdsourcing campaign
-(:mod:`repro.crowd`), the systematic crawler (:mod:`repro.crawler`) and the
-analysis pipeline (:mod:`repro.analysis`) -- plus every substrate it needs,
-built from scratch: an HTML document model (:mod:`repro.htmlmodel`), a
-simulated network with geo-IP and vantage points (:mod:`repro.net`), an FX
-rate service (:mod:`repro.fx`) and a calibrated population of e-commerce
-sites (:mod:`repro.ecommerce`).
+(:mod:`repro.crowd`), the systematic crawler (:mod:`repro.crawler`), the
+sharded execution engine that fans batches across workers with
+byte-identical output (:mod:`repro.exec`) and the analysis pipeline
+(:mod:`repro.analysis`) -- plus every substrate it needs, built from
+scratch: an HTML document model (:mod:`repro.htmlmodel`), a simulated
+network with geo-IP and vantage points (:mod:`repro.net`), an FX rate
+service (:mod:`repro.fx`) and a calibrated population of e-commerce sites
+(:mod:`repro.ecommerce`).
+
+The docs tree is the project's contract: ``docs/ARCHITECTURE.md`` (layers,
+data flow, determinism rules), ``docs/API.md`` (the supported surface,
+machine-checked), ``docs/EXAMPLES.md``, ``docs/PERFORMANCE.md``.
 
 Quickstart::
 

@@ -27,6 +27,7 @@ from repro.ecommerce.world import World
 from repro.htmlmodel.parser import parse_html
 from repro.htmlmodel.selectors import Selector
 from repro.net.geoip import GeoLocation
+from repro.net.transport import TransportError
 from repro.net.useragent import profile_for
 from repro.util import stable_rng
 
@@ -40,11 +41,22 @@ __all__ = [
 
 
 def derive_anchor_for_domain(world: World, domain: str) -> PriceAnchor:
-    """The operator's one-time manual highlight for ``domain``."""
+    """The operator's one-time manual highlight for ``domain``.
+
+    The operator reloads on transient network failures (same bounded
+    persistence the backend's fan-out applies).
+    """
     vantage = world.vantage_points[0]
     retailer = world.retailer(domain)
     product = retailer.catalog.products[0]
-    response = vantage.fetch(world.network, f"http://{domain}{product.path}")
+    try:
+        response = vantage.fetch_with_retries(
+            world.network, f"http://{domain}{product.path}"
+        )
+    except TransportError as exc:
+        raise RuntimeError(
+            f"cannot fetch anchor page for {domain}: {exc}"
+        ) from exc
     if not response.ok:
         raise RuntimeError(f"cannot fetch anchor page for {domain}")
     document = parse_html(response.body)

@@ -17,6 +17,7 @@ Examples::
 
     python -m repro.cli campaign --scale quick --out crowd.jsonl
     python -m repro.cli crawl --scale tiny --out crawl.jsonl
+    python -m repro.cli crawl --scale quick --workers 4 --exec-mode process
     python -m repro.cli analyze crawl.jsonl
     python -m repro.cli check www.digitalrev.com --product 2
     python -m repro.cli report --scale quick
@@ -36,6 +37,7 @@ from repro.analysis import (
     location_ratio_stats,
     variation_extent,
 )
+from repro.exec import ExecConfig
 from repro.experiments.context import SCALES, ExperimentContext
 from repro.fx.rates import RateService
 
@@ -55,12 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload scale (default: tiny)")
         p.add_argument("--seed", type=int, default=2013)
 
+    def add_exec(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="shard fan-out batches across N workers "
+                            "(output is byte-identical at any N; default 1)")
+        p.add_argument("--exec-mode", choices=("local", "process"),
+                       default="local",
+                       help="how shards execute: in this process or in a "
+                            "worker-process pool (default: local)")
+
     p_campaign = sub.add_parser("campaign", help="run the crowd campaign")
     add_scale(p_campaign)
+    add_exec(p_campaign)
     p_campaign.add_argument("--out", help="write the dataset to this JSONL file")
 
     p_crawl = sub.add_parser("crawl", help="run the systematic crawl")
     add_scale(p_crawl)
+    add_exec(p_crawl)
     p_crawl.add_argument("--out", help="write the dataset to this JSONL file")
 
     p_analyze = sub.add_parser("analyze", help="analyze a saved crawl dataset")
@@ -77,14 +90,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="run all figure experiments")
     add_scale(p_report)
+    add_exec(p_report)
     return parser
+
+
+def _exec_config(args: argparse.Namespace) -> Optional[ExecConfig]:
+    """The ExecConfig the flags describe (None = sequential baseline)."""
+    workers = getattr(args, "workers", 1)
+    mode = getattr(args, "exec_mode", "local")
+    if workers == 1 and mode == "local":
+        return None
+    return ExecConfig(workers=workers, mode=mode)
 
 
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    ctx = ExperimentContext(args.scale, seed=args.seed)
+    ctx = ExperimentContext(args.scale, seed=args.seed,
+                            exec_config=_exec_config(args))
     dataset = ctx.crowd
     summary = dataset.summary()
     print(
@@ -101,7 +125,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
-    ctx = ExperimentContext(args.scale, seed=args.seed)
+    ctx = ExperimentContext(args.scale, seed=args.seed,
+                            exec_config=_exec_config(args))
     dataset = ctx.crawl
     print(f"crawl complete: {dataset.summary()}")
     if args.out:
@@ -171,7 +196,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
-    ctx = ExperimentContext(args.scale, seed=args.seed)
+    ctx = ExperimentContext(args.scale, seed=args.seed,
+                            exec_config=_exec_config(args))
     results = runner.run_all(ctx)
     print(runner.render_report(results, scale=args.scale))
     return 0 if all(r.all_checks_pass for r in results) else 1

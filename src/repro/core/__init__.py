@@ -18,8 +18,8 @@ The pipeline, matching §3.1's six steps:
 6. pages are archived for later analysis (:mod:`repro.core.store`).
 """
 
-from repro.core.backend import CheckRequest, SheriffBackend
-from repro.core.extension import SheriffExtension, UserClient
+from repro.core.backend import CheckRequest, ScheduledCheck, SheriffBackend
+from repro.core.extension import PreparedCheck, SheriffExtension, UserClient
 from repro.core.extraction import ExtractedPrice, extract_price
 from repro.core.highlight import PriceAnchor, derive_anchor
 from repro.core.reports import PriceCheckReport, VantageObservation
@@ -30,8 +30,10 @@ __all__ = [
     "CheckRequest",
     "ExtractedPrice",
     "PageStore",
+    "PreparedCheck",
     "PriceAnchor",
     "PriceCheckReport",
+    "ScheduledCheck",
     "SheriffBackend",
     "SheriffExtension",
     "UserClient",

@@ -21,13 +21,24 @@ content-hash-keyed parse cache.  :meth:`SheriffBackend.check_batch` is the
 primitive -- :meth:`SheriffBackend.check` is a batch of one -- and
 amortizes URL parsing and the FX ``max_gap_ratio`` guard across a day's
 burst of checks.
+
+Scheduled execution (the shard/merge seam): a batch is first resolved into
+:class:`ScheduledCheck` entries -- (index, check id, start time, request)
+-- and each entry is executed by :meth:`SheriffBackend.run_scheduled_check`
+on its *own* burst clock forked at the scheduled start time.  The world
+clock never moves during a fan-out (the synchronized burst is instantaneous
+from the campaign/crawl timeline's perspective), so a check's bytes depend
+only on its schedule entry and the per-retailer state it touches, never on
+what other checks ran before it.  That property lets an executor from
+:mod:`repro.exec` partition a batch across workers by retailer and merge
+the reports back in plan order, byte-identical to the sequential loop.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Protocol, Sequence
 
 from repro.core.extraction import extract_price, extract_price_from_document
 from repro.core.highlight import PriceAnchor
@@ -37,14 +48,20 @@ from repro.ecommerce.localization import locale_for_country
 from repro.fx.convert import Converter, max_gap_ratio
 from repro.fx.rates import RateService
 from repro.htmlmodel.parser import parse_cache_stats
-from repro.net.clock import SECONDS_PER_DAY
+from repro.net.clock import SECONDS_PER_DAY, VirtualClock
 from repro.net.transport import Network, TransportError
 from repro.net.urls import URL
 from repro.net.vantage import VantagePoint
 
-__all__ = ["CheckRequest", "SheriffBackend"]
+__all__ = ["CheckRequest", "ScheduledCheck", "SheriffBackend"]
 
 _USD_ONLY = frozenset({"USD"})
+
+#: Signature of an archive sink: receives exactly the keyword arguments of
+#: :meth:`repro.core.store.PageStore.archive`.  Executors substitute a
+#: buffering sink so archives can be replayed into the real store in plan
+#: order regardless of which worker fetched the page.
+ArchiveSink = Callable[..., object]
 
 
 @dataclass(frozen=True)
@@ -57,6 +74,40 @@ class CheckRequest:
 
     def __post_init__(self) -> None:
         URL.parse(self.url)  # validate eagerly; fail at submission time
+
+
+@dataclass(frozen=True)
+class ScheduledCheck:
+    """One resolved entry of a batch: what to check, as whom, and when.
+
+    ``index`` is the request's position in the submitted batch (the merge
+    key); ``check_id`` is pre-assigned so workers need no shared counter;
+    ``start_ts`` is the virtual instant the synchronized burst begins.
+    The tuple is picklable -- process executors ship it to workers.
+    """
+
+    index: int
+    check_id: str
+    start_ts: float
+    request: CheckRequest
+
+
+class SupportsRun(Protocol):
+    """What :meth:`SheriffBackend.check_batch` needs from an executor.
+
+    Implementations live in :mod:`repro.exec`; ``run`` must return one
+    report per schedule entry, in ``scheduled`` (= submission) order, and
+    leave ``backend.store`` exactly as the inline loop would.
+    """
+
+    def run(
+        self,
+        backend: "SheriffBackend",
+        scheduled: Sequence[ScheduledCheck],
+        fleet: Sequence[VantagePoint],
+    ) -> list[PriceCheckReport]:  # pragma: no cover - protocol
+        """Execute every entry and return reports in submission order."""
+        ...
 
 
 class SheriffBackend:
@@ -100,48 +151,116 @@ class SheriffBackend:
         *,
         vantage_points: Optional[Sequence[VantagePoint]] = None,
         pacing_seconds: float = 0.0,
+        start_times: Optional[Sequence[float]] = None,
+        executor: Optional["SupportsRun"] = None,
     ) -> list[PriceCheckReport]:
         """Run a burst of checks, amortizing per-day work across them.
 
-        Checks run in order, each a synchronized fan-out exactly as
-        :meth:`check` performs it (reports are byte-identical to a
-        sequential loop); ``pacing_seconds`` advances the virtual clock
-        after each check (crawler politeness).  Amortized across the batch:
+        Checks are scheduled in order -- check *i* starts at
+        ``now + i * pacing_seconds`` (crawler politeness), or at
+        ``start_times[i]`` when an explicit schedule is given (the crowd
+        campaign passes each click's own timestamp).  Each check's fan-out
+        runs on a burst clock forked at its start time, so reports are
+        byte-identical to a sequential loop no matter how the schedule is
+        executed.  With the default pacing schedule the world clock ends at
+        ``now + len(requests) * pacing_seconds``; an explicit schedule
+        leaves the world clock to the caller.
+
+        ``executor`` (see :mod:`repro.exec`) partitions the schedule across
+        workers by retailer and merges reports back in plan order; ``None``
+        runs the schedule inline.  Amortized across the batch either way:
         URL parsing (memoized), day-index math, and the FX
         ``max_gap_ratio`` guard (cached per currency-set and day).
         """
         if pacing_seconds < 0:
             raise ValueError("pacing_seconds must be >= 0")
+        requests = list(requests)  # the schedule build iterates twice
         fleet = list(vantage_points) if vantage_points else self.vantage_points
-        reports: list[PriceCheckReport] = []
-        for request in requests:
-            check_id = f"chk{next(self._check_counter):07d}"
-            url = URL.parse(request.url)
-            started = self.network.clock.now
-            day_index = int(started // SECONDS_PER_DAY)
+        clock = self.network.clock
+        advance_after: Optional[float] = None
+        if start_times is not None:
+            if pacing_seconds:
+                raise ValueError(
+                    "pacing_seconds and start_times conflict: an explicit "
+                    "schedule already fixes every check's start"
+                )
+            if len(start_times) != len(requests):
+                raise ValueError("start_times must match requests 1:1")
+            times = [float(ts) for ts in start_times]
+        else:
+            # Accumulate instead of multiplying: bit-identical to a loop
+            # that advances the clock by pacing_seconds after each check.
+            times = []
+            tick = clock.now
+            for _ in requests:
+                times.append(tick)
+                tick += pacing_seconds
+            if pacing_seconds and requests:
+                advance_after = tick
+        scheduled = [
+            ScheduledCheck(
+                index=i,
+                check_id=f"chk{next(self._check_counter):07d}",
+                start_ts=times[i],
+                request=request,
+            )
+            for i, request in enumerate(requests)
+        ]
+        if executor is None:
+            reports = [
+                self.run_scheduled_check(sched, fleet, self.store.archive)
+                for sched in scheduled
+            ]
+        else:
+            reports = executor.run(self, scheduled, fleet)
+        if advance_after is not None:
+            clock.advance_to(advance_after)
+        return reports
 
+    def run_scheduled_check(
+        self,
+        sched: ScheduledCheck,
+        fleet: Sequence[VantagePoint],
+        archive: ArchiveSink,
+    ) -> PriceCheckReport:
+        """Execute one schedule entry: the executor SPI.
+
+        The fan-out runs on a private burst clock forked at
+        ``sched.start_ts``; the world clock is untouched.  Archived pages
+        go through ``archive`` (same keywords as
+        :meth:`~repro.core.store.PageStore.archive`) so executors can
+        buffer them and replay into the real store in plan order.  Given
+        identical per-retailer state (vantage cookies for the URL's domain,
+        the retailer server's request counter), the returned report is
+        byte-identical wherever and whenever the entry runs -- the
+        invariant every executor relies on.
+        """
+        url = URL.parse(sched.request.url)
+        day_index = int(sched.start_ts // SECONDS_PER_DAY)
+        world_clock = self.network.clock
+        self.network.clock = VirtualClock(sched.start_ts)
+        try:
             observations: list[VantageObservation] = []
             currencies_seen: set[str] = set()
             for vantage in fleet:
                 observations.append(
-                    self._observe(vantage, url, request.anchor, check_id,
-                                  day_index, currencies_seen)
+                    self._observe(vantage, url, sched.request.anchor,
+                                  sched.check_id, day_index, currencies_seen,
+                                  archive)
                 )
-
-            guard = self._guard_threshold(currencies_seen, day_index)
-            reports.append(PriceCheckReport(
-                check_id=check_id,
-                url=str(url),
-                domain=url.host,
-                day_index=day_index,
-                timestamp=started,
-                observations=observations,
-                guard_threshold=guard,
-                origin=request.origin,
-            ))
-            if pacing_seconds:
-                self.network.clock.advance(pacing_seconds)
-        return reports
+        finally:
+            self.network.clock = world_clock
+        guard = self._guard_threshold(currencies_seen, day_index)
+        return PriceCheckReport(
+            check_id=sched.check_id,
+            url=str(url),
+            domain=url.host,
+            day_index=day_index,
+            timestamp=sched.start_ts,
+            observations=observations,
+            guard_threshold=guard,
+            origin=sched.request.origin,
+        )
 
     def _guard_threshold(self, currencies: set[str], day_index: int) -> float:
         """Cached ``max_gap_ratio`` -- rates are immutable for a given day."""
@@ -173,6 +292,7 @@ class SheriffBackend:
         check_id: str,
         day_index: int,
         currencies_seen: set[str],
+        archive: ArchiveSink,
     ) -> VantageObservation:
         response = None
         errors: list[str] = []
@@ -207,7 +327,7 @@ class SheriffBackend:
                 error=f"http {int(response.status)}",
             )
 
-        self.store.archive(
+        archive(
             check_id=check_id,
             url=str(url),
             domain=url.host,

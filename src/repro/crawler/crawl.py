@@ -8,19 +8,26 @@ methodology's noise defenses (same-instant fan-out, per-day repetition).
 Scale note: the paper's configuration (21 retailers x ≤100 products x
 7 days x 14 vantage points) yields ~200K fetches and ~188K extracted
 prices.  :class:`CrawlConfig` exposes the knobs so tests and benchmarks can
-run reduced-scale crawls with identical structure.
+run reduced-scale crawls with identical structure, and
+:class:`~repro.exec.ExecConfig` shards each day's batch across workers --
+the dataset stays byte-identical at any worker count (the executor
+determinism contract, ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.backend import CheckRequest, SheriffBackend
 from repro.crawler.plan import CrawlPlan
 from repro.crawler.records import CrawlDataset
 from repro.ecommerce.world import World
 from repro.net.clock import SECONDS_PER_DAY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backend import SupportsRun
+    from repro.exec import ExecConfig
 
 __all__ = ["CrawlConfig", "run_crawl"]
 
@@ -50,32 +57,51 @@ def run_crawl(
     backend: SheriffBackend,
     plan: CrawlPlan,
     config: Optional[CrawlConfig] = None,
+    *,
+    exec_config: Optional["ExecConfig"] = None,
+    executor: Optional["SupportsRun"] = None,
 ) -> CrawlDataset:
     """Execute the crawl plan and return the crawled dataset.
 
     The world clock is advanced to each crawl day; within a day, targets
     are visited in plan order with ``pacing_seconds`` between checks, all
     checks of one product remaining a synchronized burst.
+
+    ``exec_config`` shards each day's batch across workers (the executor
+    is created here and closed when the crawl ends); ``executor`` passes a
+    caller-owned executor instead (the caller closes it -- benchmarks use
+    this to keep one process pool warm across many crawls).  Either way
+    the dataset is byte-identical to the sequential run.
     """
     config = config or CrawlConfig()
     if not plan.targets:
         raise ValueError("empty crawl plan")
+    if exec_config is not None and executor is not None:
+        raise ValueError("pass exec_config or executor, not both")
+    owned = exec_config.create(world) if exec_config is not None else None
+    active = executor if executor is not None else owned
     dataset = CrawlDataset()
-    for day_offset in range(config.days):
-        day_start = (config.start_day + day_offset) * SECONDS_PER_DAY
-        if day_start > world.clock.now:
-            world.clock.advance_to(day_start)
-        # One batched submission per day: the backend amortizes URL
-        # parsing and the FX guard across the day's burst while keeping
-        # each check's fan-out (and the virtual timeline) identical to a
-        # sequential loop.
-        requests = [
-            CheckRequest(url=url, anchor=target.anchor, origin="crawler")
-            for target in plan.targets
-            for url in target.product_urls
-        ]
-        for report in backend.check_batch(
-            requests, pacing_seconds=config.pacing_seconds
-        ):
-            dataset.add(report)
+    try:
+        for day_offset in range(config.days):
+            day_start = (config.start_day + day_offset) * SECONDS_PER_DAY
+            if day_start > world.clock.now:
+                world.clock.advance_to(day_start)
+            # One batched submission per day: the backend amortizes URL
+            # parsing and the FX guard across the day's burst while keeping
+            # each check's fan-out (and the virtual timeline) identical to
+            # a sequential loop.
+            requests = [
+                CheckRequest(url=url, anchor=target.anchor, origin="crawler")
+                for target in plan.targets
+                for url in target.product_urls
+            ]
+            for report in backend.check_batch(
+                requests,
+                pacing_seconds=config.pacing_seconds,
+                executor=active,
+            ):
+                dataset.add(report)
+    finally:
+        if owned is not None:
+            owned.close()
     return dataset

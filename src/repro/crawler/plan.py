@@ -24,6 +24,8 @@ from repro.crowd.dataset import CrowdDataset
 from repro.ecommerce.world import World
 from repro.htmlmodel.parser import parse_html
 from repro.htmlmodel.selectors import Selector
+from repro.net.http import HttpResponse
+from repro.net.transport import TransportError
 from repro.net.urls import URL, urljoin
 from repro.util import stable_rng
 
@@ -113,7 +115,6 @@ def build_plan(
         raise PlanError("products_per_retailer must be positive")
 
     rng = stable_rng(seed, "crawl-plan")
-    reference = world.vantage_points[0]
     targets: list[CrawlTarget] = []
     for domain in domains:
         if domain not in world.retailers:
@@ -126,12 +127,25 @@ def build_plan(
     return CrawlPlan(targets=targets)
 
 
+def _operator_fetch(world: World, url: str, *, what: str) -> HttpResponse:
+    """One plan-time page load, reloading on transient network failures.
+
+    Plan preparation is the operator's manual work; like the backend's
+    fan-out, the operator retries a bounded number of times before
+    declaring the retailer unreachable.
+    """
+    reference = world.vantage_points[0]
+    try:
+        return reference.fetch_with_retries(world.network, url)
+    except TransportError as exc:
+        raise PlanError(f"{what} fetch failed for {url}: {exc}") from exc
+
+
 def _discover_products(
     world: World, domain: str, limit: int, rng
 ) -> list[str]:
     """Harvest product links from the shop's index page."""
-    reference = world.vantage_points[0]
-    response = reference.fetch(world.network, f"http://{domain}/")
+    response = _operator_fetch(world, f"http://{domain}/", what="index")
     if not response.ok:
         raise PlanError(f"index fetch failed for {domain}: {response.status}")
     document = parse_html(response.body)
@@ -148,8 +162,7 @@ def _discover_products(
 
 def _derive_retailer_anchor(world: World, domain: str, product_url: str) -> PriceAnchor:
     """The one-time manual highlight, per retailer."""
-    reference = world.vantage_points[0]
-    response = reference.fetch(world.network, product_url)
+    response = _operator_fetch(world, product_url, what="anchor page")
     if not response.ok:
         raise PlanError(f"anchor page fetch failed for {domain}")
     document = parse_html(response.body)

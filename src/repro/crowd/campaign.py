@@ -18,10 +18,10 @@ analysis).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.backend import SheriffBackend
-from repro.core.extension import SheriffExtension
+from repro.core.extension import PreparedCheck, SheriffExtension
 from repro.crowd.dataset import CheckRecord, CrowdDataset
 from repro.crowd.population import CrowdUser, build_population
 from repro.ecommerce.world import World
@@ -29,6 +29,9 @@ from repro.htmlmodel.dom import Document, Element
 from repro.htmlmodel.selectors import Selector, SelectorError
 from repro.net.clock import SECONDS_PER_DAY
 from repro.util import stable_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import ExecConfig
 
 __all__ = ["CampaignConfig", "run_campaign"]
 
@@ -67,16 +70,24 @@ def run_campaign(
     world: World,
     backend: SheriffBackend,
     config: Optional[CampaignConfig] = None,
+    *,
+    exec_config: Optional["ExecConfig"] = None,
 ) -> CrowdDataset:
     """Run the campaign and return the crowdsourced dataset.
 
     The world's virtual clock is advanced through the campaign window, so
     checks carry realistic timestamps (and FX rates move under them).
-    Each check flows through the backend's batched submission path
-    (:meth:`~repro.core.backend.SheriffBackend.check_batch` -- of which
-    :meth:`check` is a batch of one), sharing its guard and URL caches;
-    checks cannot be batched *across* user clicks because displayed prices
-    depend on the virtual timestamp at which each click happens.
+
+    The campaign runs in two phases.  Phase one replays every *click*
+    chronologically in this process: the user's own page load (which
+    drives the world clock), the highlight, the anchor derivation -- all
+    the state the next click may depend on.  Phase two submits the
+    prepared requests as one explicitly-scheduled batch
+    (:meth:`~repro.core.backend.SheriffBackend.check_batch` with
+    ``start_times``): every fan-out runs at its own click instant on a
+    forked burst clock, so the reports are byte-identical whether the
+    batch executes inline or sharded across ``exec_config.workers``
+    workers.
     """
     config = config or CampaignConfig()
     rng = stable_rng(config.seed, "campaign")
@@ -108,11 +119,12 @@ def run_campaign(
         return weights
 
     user_weights = [user.activity for user in users]
-    dataset = CrowdDataset()
     window_seconds = (config.end_day - config.start_day) * SECONDS_PER_DAY
     offsets = sorted(rng.uniform(0, window_seconds) for _ in range(config.n_checks))
 
-    for check_index, offset in enumerate(offsets):
+    # Phase one: the client side of every click, in chronological order.
+    clicks: list[tuple[CrowdUser, str, int, str, PreparedCheck]] = []
+    for offset in offsets:
         timestamp = config.start_day * SECONDS_PER_DAY + offset
         if timestamp > world.clock.now:
             world.clock.advance_to(timestamp)
@@ -128,17 +140,40 @@ def run_campaign(
         referer = (
             config.aggregator_referer if rng.random() < config.p_referred else None
         )
-        outcome = extension.check_product(
+        prepared = extension.prepare_check(
             user.client, url, finder, origin=user.user_id, referer=referer
         )
+        clicks.append(
+            (user, domain, int(timestamp // SECONDS_PER_DAY), url, prepared)
+        )
+
+    # Phase two: one scheduled batch of every click that reached the
+    # backend, fanned out at each click's own instant (and optionally
+    # sharded across workers -- bytes are identical either way).
+    ready = [click[4] for click in clicks if click[4].request is not None]
+    executor = exec_config.create(world) if exec_config is not None else None
+    try:
+        reports = backend.check_batch(
+            [prepared.request for prepared in ready],
+            start_times=[prepared.start_ts for prepared in ready],
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
+    for prepared, report in zip(ready, reports):
+        prepared.outcome.report = report
+
+    dataset = CrowdDataset()
+    for user, domain, day_index, url, prepared in clicks:
         dataset.add(
             CheckRecord(
                 user_id=user.user_id,
                 user_country=user.country_code,
-                day_index=int(timestamp // SECONDS_PER_DAY),
+                day_index=day_index,
                 domain=domain,
                 url=url,
-                outcome=outcome,
+                outcome=prepared.outcome,
             )
         )
     return dataset

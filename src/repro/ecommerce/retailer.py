@@ -119,6 +119,22 @@ class RetailerServer:
             "render_entries": len(self._render_cache),
         }
 
+    @property
+    def request_count(self) -> int:
+        """Requests served so far.
+
+        Part of the pricing nonce, so it is *session state*: a shard
+        worker must start from the coordinator's count (and hand its final
+        count back) for per-request A/B draws to reproduce bit-for-bit.
+        """
+        return self._request_count
+
+    @request_count.setter
+    def request_count(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("request_count cannot be negative")
+        self._request_count = value
+
     # ------------------------------------------------------------------
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Route one request."""

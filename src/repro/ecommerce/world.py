@@ -55,7 +55,14 @@ from repro.net.transport import Network
 from repro.net.vantage import VantagePoint, standard_vantage_points
 from repro.util import stable_rng
 
-__all__ = ["World", "WorldConfig", "RetailerSpec", "build_world", "NAMED_RETAILER_SPECS"]
+__all__ = [
+    "World",
+    "WorldConfig",
+    "WorldSpec",
+    "RetailerSpec",
+    "build_world",
+    "NAMED_RETAILER_SPECS",
+]
 
 
 # ----------------------------------------------------------------------
@@ -451,6 +458,26 @@ class WorldConfig:
             raise ValueError("long_tail_domains must be >= 0")
 
 
+@dataclass(frozen=True)
+class WorldSpec:
+    """A picklable seed from which an equivalent :class:`World` regrows.
+
+    Everything in a world is a deterministic function of its
+    :class:`WorldConfig`, so shipping the config (a few primitives) to a
+    worker process and calling :meth:`build` there reconstructs servers,
+    catalogs, FX rates, geo-IP plan, and the vantage fleet bit-for-bit --
+    no pickling of live DOM trees, server objects, or networks.  Mutable
+    *session* state (cookie jars, server request counters) is not part of
+    the spec; executors transfer it separately per shard.
+    """
+
+    config: WorldConfig
+
+    def build(self) -> "World":
+        """Reconstruct the world this spec describes."""
+        return build_world(self.config)
+
+
 @dataclass
 class World:
     """A fully wired simulation instance."""
@@ -470,6 +497,10 @@ class World:
     @property
     def all_shop_domains(self) -> list[str]:
         return list(self.retailers)
+
+    def spec(self) -> WorldSpec:
+        """The picklable seed that regrows an equivalent world."""
+        return WorldSpec(config=self.config)
 
     def retailer(self, domain: str) -> Retailer:
         """The retailer registered at ``domain`` (KeyError if absent)."""

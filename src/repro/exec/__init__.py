@@ -1,0 +1,34 @@
+"""Sharded execution of synchronized-check batches.
+
+The paper's workload is a day-batched fan-out: ~200K fetches across
+21 retailers x 7 days x 14 vantage points.  This package executes one
+day's batch across N workers while keeping every report byte-identical
+to the sequential loop:
+
+* :class:`~repro.exec.plan.ShardPlan` -- stable-hash partition of the
+  batch by retailer, so each shard owns disjoint retailer/session state;
+* :class:`~repro.exec.plan.ExecConfig` -- the ``workers``/``mode`` knob
+  carried by :func:`repro.crawler.run_crawl`,
+  :func:`repro.crowd.run_campaign`, and the CLI's ``--workers``;
+* :class:`~repro.exec.local.LocalExecutor` -- in-process execution, the
+  default and the determinism test baseline;
+* :class:`~repro.exec.process.ProcessExecutor` -- multiprocessing
+  execution; workers regrow the world from its picklable
+  :class:`~repro.ecommerce.world.WorldSpec` instead of pickling live
+  simulation objects.
+
+See ``docs/ARCHITECTURE.md`` for the determinism contract that makes the
+byte-identity guarantee hold.
+"""
+
+from repro.exec.local import LocalExecutor
+from repro.exec.plan import ExecConfig, ExecError, ShardPlan
+from repro.exec.process import ProcessExecutor
+
+__all__ = [
+    "ExecConfig",
+    "ExecError",
+    "LocalExecutor",
+    "ProcessExecutor",
+    "ShardPlan",
+]

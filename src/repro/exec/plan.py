@@ -1,0 +1,110 @@
+"""Shard planning: deterministic ownership of a batch's checks.
+
+The unit of shard ownership is the **retailer**.  Everything that makes
+two checks against one shop interact -- the vantage fleet's session
+cookies for that domain, the server's request counter (part of the
+pricing nonce), its render memo -- is keyed by domain, while checks
+against different shops share nothing (per-request latency/loss draws,
+burst-clock isolation; see ``docs/ARCHITECTURE.md``).  A
+:class:`ShardPlan` therefore assigns every (retailer, product) target to
+the shard that owns its retailer, via a stable hash of the domain: the
+same plan on any machine, in any process, on any day partitions a batch
+identically, and each shard can execute its slice against nothing but its
+own retailers' state.
+
+:class:`ExecConfig` is the user-facing knob: ``workers`` and ``mode``
+travel from the CLI / :func:`repro.crawler.run_crawl` /
+:func:`repro.crowd.run_campaign` down to an executor instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.net.urls import URL
+from repro.util import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backend import ScheduledCheck
+    from repro.ecommerce.world import World
+
+__all__ = ["ExecConfig", "ExecError", "ShardPlan"]
+
+_MODES = ("local", "process")
+
+
+class ExecError(RuntimeError):
+    """Raised when a shard executor cannot honor its determinism contract."""
+
+
+class ShardPlan:
+    """Stable partition of checks across ``workers`` shards by retailer."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("a shard plan needs at least one worker")
+        self.workers = workers
+
+    def shard_of(self, domain: str) -> int:
+        """The shard that owns ``domain``.
+
+        Derived from a process- and platform-stable hash, so coordinator
+        and workers (or two runs months apart) always agree.
+        """
+        return stable_hash("shard", domain.lower()) % self.workers
+
+    def partition(
+        self, scheduled: Sequence["ScheduledCheck"]
+    ) -> list[list["ScheduledCheck"]]:
+        """Split schedule entries into per-shard slices.
+
+        Entries keep their submission order inside each shard, which
+        preserves the per-domain request sequence (and with it cookie and
+        nonce evolution) exactly as the sequential loop would produce it.
+        """
+        shards: list[list["ScheduledCheck"]] = [[] for _ in range(self.workers)]
+        for sched in scheduled:
+            host = URL.parse(sched.request.url).host
+            shards[self.shard_of(host)].append(sched)
+        return shards
+
+    def __repr__(self) -> str:
+        return f"ShardPlan(workers={self.workers})"
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How a crawl/campaign executes its fan-out batches.
+
+    ``workers=1`` with ``mode="local"`` is the sequential baseline (no
+    executor object at all); higher worker counts shard the batch.  Modes:
+
+    * ``"local"`` -- :class:`~repro.exec.local.LocalExecutor`: shards run
+      one after another in this process.  Zero overhead, exercises the
+      exact partition/merge path; the default and the test baseline.
+    * ``"process"`` -- :class:`~repro.exec.process.ProcessExecutor`:
+      shards run in parallel worker processes that rebuild the world from
+      its :class:`~repro.ecommerce.world.WorldSpec`.
+    """
+
+    workers: int = 1
+    mode: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+
+    def create(self, world: "World"):
+        """Build the executor this config describes (None = run inline)."""
+        if self.mode == "local":
+            if self.workers == 1:
+                return None
+            from repro.exec.local import LocalExecutor
+
+            return LocalExecutor(self.workers)
+        from repro.exec.process import ProcessExecutor
+
+        return ProcessExecutor(world, self.workers)

@@ -1,0 +1,218 @@
+"""Multi-process shard execution.
+
+:class:`ProcessExecutor` fans a batch's shards out to a persistent pool
+of worker processes.  A worker never receives live simulation objects --
+no DOM trees, servers, or networks cross the process boundary.  Instead
+it receives:
+
+* the world's :class:`~repro.ecommerce.world.WorldSpec` (a few config
+  primitives) from which it regrows an equivalent world once per process
+  and caches it,
+* the shard's :class:`~repro.core.backend.ScheduledCheck` slice (URLs,
+  anchors, pre-assigned check ids and start times), and
+* the shard's *session state*: each vantage point's cookies for the
+  shard's domains and each owned retailer server's request counter.
+
+Because every stochastic draw in the simulation is keyed by request
+identity rather than arrival order (see ``docs/ARCHITECTURE.md``), the
+rebuilt world plus the restored session state reproduce each check
+bit-for-bit.  The worker sends back reports, buffered archive calls, and
+the post-batch session state; the coordinator folds the state into its
+own world and replays archives in plan order, so the next day's batch
+starts from exactly the history a sequential run would have written.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.ecommerce.world import WorldSpec
+from repro.exec.local import merge_in_plan_order
+from repro.exec.plan import ExecError, ShardPlan
+from repro.net.urls import URL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backend import ScheduledCheck, SheriffBackend
+    from repro.core.reports import PriceCheckReport
+    from repro.ecommerce.world import World
+    from repro.net.vantage import VantagePoint
+
+__all__ = ["ProcessExecutor"]
+
+#: Per-process memo of rebuilt worlds: spec -> (world, backend).  A pool
+#: worker serves many shard tasks over a crawl's lifetime; the expensive
+#: regrow from the spec happens once per (process, spec).
+_WORKER_WORLDS: dict[WorldSpec, tuple] = {}
+
+
+def _worker_world(spec: WorldSpec):
+    from repro.core.backend import SheriffBackend
+
+    cached = _WORKER_WORLDS.get(spec)
+    if cached is None:
+        world = spec.build()
+        backend = SheriffBackend(
+            world.network, world.vantage_points, world.rates
+        )
+        cached = (world, backend)
+        _WORKER_WORLDS[spec] = cached
+    return cached
+
+
+def _install_session_state(
+    fleet, servers, domains, jar_snapshots, server_counts
+) -> None:
+    """Install a shard's session state: the one definition of "state".
+
+    Used identically on both sides of the process boundary -- the worker
+    restores the coordinator's pre-batch state, the coordinator folds the
+    worker's post-batch state back in.  Anything that becomes session
+    state later (a new stateful per-retailer field, say) must be added
+    here once, or worker and coordinator silently diverge.
+    """
+    for vantage, snapshot in zip(fleet, jar_snapshots):
+        for domain in domains:
+            vantage.jar.clear(domain)
+        vantage.jar.restore(snapshot)
+    for domain, count in server_counts.items():
+        server = servers.get(domain)
+        if server is not None:
+            server.request_count = count
+
+
+def _run_shard(payload: dict) -> tuple[list, list, dict]:
+    """Execute one shard in a worker process (module-level: picklable).
+
+    Returns ``(results, jar_snapshots, server_counts)`` where results are
+    ``(index, report, archive_calls)`` triples and the snapshots/counts
+    are the shard's post-batch session state.
+    """
+    spec: WorldSpec = payload["spec"]
+    tasks: list = payload["tasks"]
+    domains: set[str] = set(payload["domains"])
+    world, backend = _worker_world(spec)
+    fleet = world.vantage_points
+
+    # Restore the shard's session state; wipe whatever a previous task
+    # left for these domains (tasks from other shards never touch them).
+    _install_session_state(
+        fleet, world.servers, domains,
+        payload["jar_snapshots"], payload["server_counts"],
+    )
+
+    results = []
+    for sched in tasks:
+        archives: list[dict] = []
+        report = backend.run_scheduled_check(
+            sched, fleet, lambda **kwargs: archives.append(kwargs)
+        )
+        results.append((sched.index, report, archives))
+
+    jar_snapshots = [vantage.jar.snapshot(hosts=domains) for vantage in fleet]
+    server_counts = {
+        domain: world.servers[domain].request_count
+        for domain in payload["server_counts"]
+    }
+    return results, jar_snapshots, server_counts
+
+
+class ProcessExecutor:
+    """Execute shards in parallel worker processes, merge deterministically.
+
+    The executor holds a persistent process pool; create it once per
+    crawl/campaign (``ExecConfig.create`` does) and :meth:`close` it when
+    done -- it is also a context manager.  Requires a world built by
+    :func:`~repro.ecommerce.world.build_world` (workers regrow it from the
+    spec) and the world's own vantage fleet.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        workers: int = 4,
+        *,
+        plan: Optional[ShardPlan] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self._world = world
+        self._spec = world.spec()
+        self.plan = plan or ShardPlan(workers)
+        # fork is the fast path (no re-import) but is only safe where it
+        # is the platform default; macOS deliberately switched to spawn
+        # (fork-without-exec crashes), so prefer it only on Linux.
+        method = start_method or (
+            "fork" if sys.platform == "linux" else "spawn"
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.plan.workers,
+            mp_context=multiprocessing.get_context(method),
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        backend: "SheriffBackend",
+        scheduled: Sequence["ScheduledCheck"],
+        fleet: Sequence["VantagePoint"],
+    ) -> list["PriceCheckReport"]:
+        """Dispatch shards to the pool and merge results in plan order."""
+        expected = [vp.name for vp in self._world.vantage_points]
+        if [vp.name for vp in fleet] != expected:
+            raise ExecError(
+                "ProcessExecutor can only fan out over the world's own "
+                "vantage fleet (workers rebuild that fleet from the spec)"
+            )
+        submitted = []
+        for shard in self.plan.partition(scheduled):
+            if not shard:
+                continue
+            domains = sorted(
+                {URL.parse(sched.request.url).host for sched in shard}
+            )
+            payload = {
+                "spec": self._spec,
+                "tasks": shard,
+                "domains": domains,
+                "jar_snapshots": [
+                    vantage.jar.snapshot(hosts=set(domains))
+                    for vantage in fleet
+                ],
+                "server_counts": {
+                    domain: self._world.servers[domain].request_count
+                    for domain in domains
+                    if domain in self._world.servers
+                },
+            }
+            submitted.append((domains, self._pool.submit(_run_shard, payload)))
+
+        merged: dict[int, tuple["PriceCheckReport", list[dict]]] = {}
+        for domains, future in submitted:
+            results, jar_snapshots, server_counts = future.result()
+            for index, report, archives in results:
+                merged[index] = (report, archives)
+            # Fold the shard's post-batch session state back in, so the
+            # coordinator's world is as-if it had run the shard itself.
+            _install_session_state(
+                fleet, self._world.servers, domains,
+                jar_snapshots, server_counts,
+            )
+        return merge_in_plan_order(backend, scheduled, merged)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        """Context-manager entry: the executor itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: release the pool."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(workers={self.plan.workers})"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.cleaning import CleanResult, clean_reports
 from repro.core.backend import SheriffBackend
@@ -18,6 +18,9 @@ from repro.crawler import CrawlConfig, CrawlPlan, build_plan, run_crawl
 from repro.crawler.records import CrawlDataset
 from repro.crowd import CampaignConfig, CrowdDataset, run_campaign
 from repro.ecommerce.world import World, WorldConfig, build_world
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import ExecConfig
 
 __all__ = ["ExperimentScale", "ExperimentContext", "get_context", "SCALES"]
 
@@ -75,9 +78,20 @@ SCALES: dict[str, ExperimentScale] = {
 
 
 class ExperimentContext:
-    """Lazily-built shared state for all figure experiments."""
+    """Lazily-built shared state for all figure experiments.
 
-    def __init__(self, scale: ExperimentScale | str = "quick", *, seed: int = 2013) -> None:
+    ``exec_config`` shards the campaign and crawl fan-outs across workers
+    (``repro.exec``); datasets are byte-identical at any worker count, so
+    the figures cannot depend on it.
+    """
+
+    def __init__(
+        self,
+        scale: ExperimentScale | str = "quick",
+        *,
+        seed: int = 2013,
+        exec_config: Optional["ExecConfig"] = None,
+    ) -> None:
         if isinstance(scale, str):
             try:
                 scale = SCALES[scale]
@@ -87,6 +101,7 @@ class ExperimentContext:
                 ) from None
         self.scale = scale
         self.seed = seed
+        self.exec_config = exec_config
         self._world: Optional[World] = None
         self._backend: Optional[SheriffBackend] = None
         self._crowd: Optional[CrowdDataset] = None
@@ -116,7 +131,10 @@ class ExperimentContext:
         """The crowdsourced dataset (runs the campaign on first use)."""
         if self._crowd is None:
             self._crowd = run_campaign(
-                self.world, self.backend, self.scale.campaign_config(self.seed)
+                self.world,
+                self.backend,
+                self.scale.campaign_config(self.seed),
+                exec_config=self.exec_config,
             )
         return self._crowd
 
@@ -138,7 +156,11 @@ class ExperimentContext:
             # The crawl follows the crowd phase chronologically.
             _ = self.crowd
             self._crawl = run_crawl(
-                self.world, self.backend, self.plan, self.scale.crawl_config()
+                self.world,
+                self.backend,
+                self.plan,
+                self.scale.crawl_config(),
+                exec_config=self.exec_config,
             )
         return self._crawl
 

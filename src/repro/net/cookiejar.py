@@ -99,6 +99,35 @@ class CookieJar:
         }
 
     # ------------------------------------------------------------------
+    # State transfer (the shard executors' session hand-off)
+    # ------------------------------------------------------------------
+    def snapshot(self, hosts: Optional[set[str]] = None) -> list[dict]:
+        """Export cookies as picklable dicts, optionally for ``hosts`` only.
+
+        Together with :meth:`restore` this moves per-domain session state
+        between a coordinator and a shard worker without shipping the jar
+        object itself.  Insertion order is preserved.
+        """
+        return [
+            {
+                "host": c.host,
+                "name": c.name,
+                "value": c.value,
+                "path": c.path,
+                "expires_at": c.expires_at,
+                "secure": c.secure,
+            }
+            for c in self._cookies.values()
+            if hosts is None or c.host in hosts
+        ]
+
+    def restore(self, snapshot: list[dict]) -> None:
+        """Install cookies exported by :meth:`snapshot` (upserting by key)."""
+        for item in snapshot:
+            cookie = StoredCookie(**item)
+            self._cookies[(cookie.host, cookie.name, cookie.path)] = cookie
+
+    # ------------------------------------------------------------------
     def header_for(self, url: URL, *, now: float = 0.0) -> Optional[str]:
         """The ``Cookie:`` header value for a request to ``url``."""
         sendable = [

@@ -13,12 +13,20 @@ server rendered a DOM tree, the tree itself
 (:attr:`~repro.net.http.HttpResponse.document`).  The network forwards
 responses as-is, so the attached tree survives routing and redirects and
 lets in-process consumers skip re-parsing the body they just received.
+
+Determinism contract (what makes sharded execution possible): every
+stochastic draw -- latency jitter and packet loss -- is keyed by the
+*request identity* (network seed, URL, client IP, virtual send time), not
+by a shared RNG stream.  Two requests therefore never influence each
+other's draws: delivering them in a different order, or in different
+worker processes rebuilt from the same seed, produces bit-identical
+responses and timings.  See ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
 from repro.net.clock import VirtualClock
@@ -54,11 +62,27 @@ class LatencyModel:
     base: float = 0.08
     jitter: float = 0.04
 
-    def sample(self, rng: random.Random) -> float:
-        """One latency draw: base plus uniform jitter."""
+    def from_unit(self, unit: float) -> float:
+        """The latency at a point of the unit interval.
+
+        The network feeds it request-keyed hash draws (uniform in
+        [0, 1)), so no RNG object is constructed per delivery and no
+        draw depends on any other request -- the determinism contract.
+        """
         if self.jitter <= 0:
             return self.base
-        return self.base + rng.uniform(0.0, self.jitter)
+        return self.base + unit * self.jitter
+
+    @property
+    def timeout(self) -> float:
+        """Virtual time a lost request burns before failing.
+
+        Strictly positive even at ``base == 0``: a retry must send at a
+        *later* instant than the lost attempt, or its request-identity
+        draw key (which includes the send time) would repeat and re-lose
+        the request forever.
+        """
+        return max(self.base * 10.0, 1e-3)
 
 
 class Network:
@@ -70,8 +94,11 @@ class Network:
         The shared virtual clock; every delivered request advances it by
         the sampled latency so timestamps are causally ordered.
     seed:
-        Seeds the jitter / loss RNG; the same seed reproduces the same
-        request timeline bit-for-bit.
+        Keys the jitter / loss draws; the same seed reproduces the same
+        request timeline bit-for-bit.  Draws are derived per request from
+        (seed, URL, client IP, send time) -- never from a shared stream --
+        so the timeline of one client/domain is independent of traffic to
+        any other (the property shard workers rely on).
     loss_rate:
         Probability a request is dropped with :class:`TransportError`.
     """
@@ -91,7 +118,7 @@ class Network:
         self.clock = clock or VirtualClock()
         self.latency = latency or LatencyModel()
         self.loss_rate = loss_rate
-        self._rng = random.Random(seed)
+        self._seed = seed
         self._servers: dict[str, Server] = {}
         self.request_log: list[HttpRequest] = []
         self._request_count = 0
@@ -173,19 +200,41 @@ class Network:
         response.elapsed = self.clock.now - started
         return response
 
+    def _deliver_draws(self, request: HttpRequest) -> tuple[float, float, float]:
+        """The delivery's three unit-interval draws (loss, two latencies).
+
+        One digest keyed by the request identity at its send instant --
+        never a shared RNG stream, so no request can shift another's
+        draws (the sharding determinism contract).  Retries re-key
+        naturally: a failed attempt burns timeout time, so the next
+        attempt sends at a later instant.
+        """
+        payload = (
+            f"{self._seed}\x1f{request.url}\x1f{request.client_ip}"
+            f"\x1f{self.clock.now!r}\x1fdeliver"
+        ).encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=24).digest()
+        return (
+            int.from_bytes(digest[0:8], "big") / 2**64,
+            int.from_bytes(digest[8:16], "big") / 2**64,
+            int.from_bytes(digest[16:24], "big") / 2**64,
+        )
+
     def _deliver(self, request: HttpRequest, *, record: bool) -> HttpResponse:
-        if self.loss_rate and self._rng.random() < self.loss_rate:
-            # A lost request still burns time (timeout).
-            self.clock.advance(self.latency.base * 10)
+        loss_draw, latency_out, latency_back = self._deliver_draws(request)
+        if self.loss_rate and loss_draw < self.loss_rate:
+            # A lost request still burns time (timeout) -- which also
+            # re-keys any retry's draws to a fresh send instant.
+            self.clock.advance(self.latency.timeout)
             raise TransportError(f"request to {request.url.host} timed out")
         server = self.resolve(request.url.host)
-        self.clock.advance(self.latency.sample(self._rng))
+        self.clock.advance(self.latency.from_unit(latency_out))
         request.timestamp = self.clock.now
         self._request_count += 1
         if record:
             self.request_log.append(request)
         response = server.handle(request)
-        self.clock.advance(self.latency.sample(self._rng))
+        self.clock.advance(self.latency.from_unit(latency_back))
         return response
 
 

@@ -22,7 +22,7 @@ from typing import Optional
 from repro.net.cookiejar import CookieJar
 from repro.net.geoip import GeoLocation, IPAddressPlan
 from repro.net.http import Headers, HttpRequest, HttpResponse
-from repro.net.transport import Network
+from repro.net.transport import Network, TransportError
 from repro.net.urls import URL
 from repro.net.useragent import BrowserProfile, profile_for
 
@@ -81,6 +81,33 @@ class VantagePoint:
         target = response.url or (URL.parse(url) if isinstance(url, str) else url)
         self.jar.update_from_response(target, response, now=network.clock.now)
         return response
+
+    def fetch_with_retries(
+        self,
+        network: Network,
+        url: URL | str,
+        *,
+        referer: Optional[str] = None,
+        attempts: int = 3,
+    ) -> HttpResponse:
+        """Fetch with bounded persistence against transient failures.
+
+        The one retry policy shared by every "operator reloads the page"
+        flow (crawl-plan preparation, anchor derivation); re-raises the
+        last :class:`TransportError` when every attempt is lost.  Each
+        attempt sends at a later virtual instant (a timeout burns time),
+        so its loss/latency draws are fresh.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        failure: Optional[TransportError] = None
+        for _ in range(attempts):
+            try:
+                return self.fetch(network, url, referer=referer)
+            except TransportError as exc:
+                failure = exc
+        assert failure is not None
+        raise failure
 
     def __str__(self) -> str:
         return self.name

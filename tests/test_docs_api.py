@@ -1,0 +1,102 @@
+"""docs/API.md cannot rot: every documented symbol and CLI flag exists.
+
+The doc's ``| Symbol | Defined in |`` tables and the CLI
+``| Subcommand | Flags |`` table are parsed and resolved against the
+live code -- a rename, removal, or signature move that forgets to update
+the docs fails here (``make docs-check`` runs exactly this module).
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|(.+)\|\s*$")
+
+
+def _table_rows(header_left: str) -> list[tuple[str, str]]:
+    """(left, right) cells of every row in tables with this left header.
+
+    The left cell must be one backticked token; the right cell is taken
+    raw (CLI rows hold several backticked flags).
+    """
+    rows: list[tuple[str, str]] = []
+    collecting = False
+    for line in API_MD.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if stripped.startswith(f"| {header_left} |"):
+            collecting = True
+            continue
+        if collecting:
+            if stripped.startswith("|---") or stripped.startswith("| ---"):
+                continue
+            match = _ROW.match(stripped)
+            if match:
+                rows.append((match.group(1), match.group(2).strip().strip("`")))
+            else:
+                collecting = False
+    return rows
+
+
+SYMBOL_ROWS = _table_rows("Symbol")
+CLI_ROWS = _table_rows("Subcommand")
+
+
+def test_tables_were_found():
+    """Guard the guard: if the doc's table format changes, fail loudly
+    rather than silently checking nothing."""
+    assert len(SYMBOL_ROWS) >= 30, f"only {len(SYMBOL_ROWS)} symbol rows parsed"
+    assert len(CLI_ROWS) == 5, f"{len(CLI_ROWS)} CLI rows parsed"
+
+
+@pytest.mark.parametrize("symbol,module_name",
+                         SYMBOL_ROWS, ids=[s for s, _ in SYMBOL_ROWS])
+def test_documented_symbol_exists(symbol, module_name):
+    module = importlib.import_module(module_name)
+    target = module
+    for part in symbol.split("."):
+        assert hasattr(target, part), (
+            f"docs/API.md documents {symbol!r} in {module_name}, "
+            f"but {type(target).__name__} {getattr(target, '__name__', target)!r} "
+            f"has no attribute {part!r}"
+        )
+        target = getattr(target, part)
+
+
+def _subparser_map():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        return dict(action.choices)
+    raise AssertionError("CLI parser has no subcommands")
+
+
+@pytest.mark.parametrize("subcommand,flags_cell",
+                         CLI_ROWS, ids=[s for s, _ in CLI_ROWS])
+def test_documented_cli_flags_exist(subcommand, flags_cell):
+    subparsers = _subparser_map()
+    assert subcommand in subparsers, (
+        f"docs/API.md documents subcommand {subcommand!r}, "
+        f"but the CLI only has {sorted(subparsers)}"
+    )
+    available = set(subparsers[subcommand]._option_string_actions)  # noqa: SLF001
+    documented = re.findall(r"--[a-z-]+", flags_cell)
+    assert documented, f"no flags parsed from row for {subcommand!r}"
+    missing = [flag for flag in documented if flag not in available]
+    assert not missing, (
+        f"docs/API.md documents {missing} for {subcommand!r}, "
+        f"but the parser only accepts {sorted(available)}"
+    )
+
+
+def test_every_subcommand_is_documented():
+    documented = {subcommand for subcommand, _ in CLI_ROWS}
+    assert documented == set(_subparser_map()), (
+        "CLI subcommands and docs/API.md disagree"
+    )
