@@ -4,11 +4,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench examples
+.PHONY: test docs-check bench bench-analysis check examples
 
 # Tier-1: the full test suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The full gate in one command: tier-1 tests + docs freshness.
+check: test docs-check
 
 # Docs cannot rot: every symbol and CLI flag named in docs/API.md must
 # resolve against the live code.
@@ -16,9 +19,14 @@ docs-check:
 	$(PYTHON) -m pytest tests/test_docs_api.py -q
 
 # Refresh benchmarks/BENCH_pipeline.json (per-check, crawl/campaign
-# throughput, workers scaling curve).
+# throughput, workers scaling curve, analysis aggregation).
 bench:
 	$(PYTHON) benchmarks/run_bench.py
+
+# Just the columnar-vs-list analysis aggregation bench (100K synthetic
+# reports); other entries in BENCH_pipeline.json are preserved.
+bench-analysis:
+	$(PYTHON) benchmarks/run_bench.py --only analysis_aggregation
 
 # Run every example (docs/EXAMPLES.md shows expected output).
 examples:

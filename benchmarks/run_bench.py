@@ -40,12 +40,22 @@ def _summary(samples: list[float]) -> dict[str, float]:
     }
 
 
+def _reset_parse_cache() -> None:
+    """Benches that report parse-cache stats must not inherit another
+    bench's process-global counters (stats would then depend on which
+    benches ran earlier, breaking BENCH_pipeline.json diffs)."""
+    from repro.htmlmodel.parser import reset_parse_cache
+
+    reset_parse_cache()
+
+
 def bench_sheriff_check(rounds: int) -> dict[str, object]:
     """One synchronized 14-vantage-point price check, end to end."""
     from repro.analysis.personal import derive_anchor_for_domain
     from repro.core.backend import CheckRequest, SheriffBackend
     from repro.ecommerce.world import WorldConfig, build_world
 
+    _reset_parse_cache()
     world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
     backend = SheriffBackend(world.network, world.vantage_points, world.rates)
     domain = "www.digitalrev.com"
@@ -72,6 +82,7 @@ def bench_store_replay(rounds: int) -> dict[str, object]:
     from repro.ecommerce.world import WorldConfig, build_world
     from repro.htmlmodel.parser import parse_cache_stats, reset_parse_cache
 
+    _reset_parse_cache()
     world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
     backend = SheriffBackend(world.network, world.vantage_points, world.rates)
     domain = "www.digitalrev.com"
@@ -102,6 +113,7 @@ def bench_crawl_day(rounds: int) -> dict[str, object]:
     from repro.crawler import CrawlConfig, build_plan, run_crawl
     from repro.ecommerce.world import WorldConfig, build_world
 
+    _reset_parse_cache()
     world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
     backend = SheriffBackend(world.network, world.vantage_points, world.rates)
     plan = build_plan(world, domains=world.crawled_domains[:3],
@@ -222,12 +234,124 @@ def bench_crowd_checks(rounds: int) -> dict[str, object]:
     return result
 
 
+def _synthetic_reports(n_reports: int, *, n_vantages: int = 5):
+    """``n_reports`` deterministic product-day reports for the analysis
+    bench: 20 domains x 50 products x rolling 7-day window, a sprinkle of
+    failed observations, and domain/vantage-dependent price spreads so
+    every aggregation has real work to do."""
+    from repro.core.reports import PriceCheckReport, VantageObservation
+
+    n_domains, products_per_domain = 20, 50
+    currencies = ("USD", "EUR", "GBP", "BRL")
+    vantage_names = [
+        (f"Country{v:02d} - City{v:02d}", f"C{v:02d}", f"City{v:02d}")
+        for v in range(n_vantages)
+    ]
+    reports = []
+    for i in range(n_reports):
+        d = i % n_domains
+        domain = f"www.shop{d:03d}.example"
+        product = (i // n_domains) % products_per_domain
+        day = 155 + (i % 7)
+        base = 10.0 + ((i * 37) % 1000) / 7.0
+        observations = []
+        for v, (name, country, city) in enumerate(vantage_names):
+            if (i + v) % 29 == 0:  # occasional fan-out failure
+                observations.append(VantageObservation(
+                    vantage=name, country_code=country, city=city,
+                    ok=False, error="timeout",
+                ))
+                continue
+            usd = base * (1.0 + 0.002 * v + (0.25 if (d + v) % 5 == 0 else 0.0))
+            observations.append(VantageObservation(
+                vantage=name, country_code=country, city=city, ok=True,
+                raw_text=f"{usd:.2f}", amount=round(usd, 2),
+                currency=currencies[(d + v) % len(currencies)], usd=usd,
+                method="selector",
+            ))
+        reports.append(PriceCheckReport(
+            check_id=f"chk{i:07d}",
+            url=f"http://{domain}/p/{product:04d}",
+            domain=domain,
+            day_index=day,
+            timestamp=day * 86400.0 + float(i),
+            observations=observations,
+            guard_threshold=1.08,
+            origin="crawler",
+        ))
+    return reports
+
+
+def bench_analysis_aggregation(
+    rounds: int, *, n_reports: int = 100_000
+) -> dict[str, object]:
+    """The figure-feeding aggregations over 100K synthetic reports:
+    list-of-dataclasses path vs single-pass columnar kernels over the
+    same data in a :class:`ReportTable`, results asserted equal."""
+    from repro.analysis.extent import variation_extent
+    from repro.analysis.locations import location_ratio_stats
+    from repro.analysis.longitudinal import daily_extent, product_persistence
+    from repro.analysis.products import ratio_vs_min_price
+    from repro.analysis.ratios import domain_ratio_stats
+    from repro.store import ReportTable, TableSlice
+
+    reports = _synthetic_reports(n_reports)
+
+    build_start = time.perf_counter()
+    table = ReportTable()
+    table.extend(reports)
+    build_ms = (time.perf_counter() - build_start) * 1000.0
+    sliced = TableSlice(table)
+
+    def aggregate(data):
+        return (
+            variation_extent(data),
+            domain_ratio_stats(data, only_variation=True),
+            location_ratio_stats(data),
+            daily_extent(data),
+            product_persistence(data),
+            ratio_vs_min_price(data),
+        )
+
+    if aggregate(reports) != aggregate(sliced):
+        raise RuntimeError("columnar kernels diverged from the list path")
+
+    list_samples = _time_rounds(lambda: aggregate(reports), rounds)
+    columnar_samples = _time_rounds(lambda: aggregate(sliced), rounds)
+    list_mean = statistics.fmean(list_samples)
+    columnar_mean = statistics.fmean(columnar_samples)
+    return {
+        "reports": n_reports,
+        "observations": table.n_observations,
+        "aggregations": 6,
+        "table_build_ms": round(build_ms, 4),
+        "list_path": _summary(list_samples),
+        "columnar_path": _summary(columnar_samples),
+        "speedup": round(list_mean / columnar_mean, 2),
+        "results_equal": True,
+    }
+
+
+#: name -> (runner, which rounds argument it takes).
+BENCHES: dict[str, tuple] = {
+    "sheriff_check": (bench_sheriff_check, "rounds"),
+    "store_replay": (bench_store_replay, "rounds"),
+    "crawl_day": (bench_crawl_day, "heavy"),
+    "crawl_day_scaling": (bench_crawl_day_scaling, "heavy"),
+    "crowd_checks": (bench_crowd_checks, "heavy"),
+    "analysis_aggregation": (bench_analysis_aggregation, "heavy"),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=50,
                         help="rounds for the per-check bench (default 50)")
     parser.add_argument("--heavy-rounds", type=int, default=3,
                         help="rounds for crawl/campaign benches (default 3)")
+    parser.add_argument("--only", action="append", choices=sorted(BENCHES),
+                        help="run only this bench (repeatable); existing "
+                             "entries in the output file are preserved")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).with_name("BENCH_pipeline.json"))
     args = parser.parse_args(argv)
@@ -235,7 +359,10 @@ def main(argv: list[str] | None = None) -> int:
     from repro.htmlmodel.parser import reset_parse_cache
 
     reset_parse_cache()
-    report = {
+    report: dict[str, object] = {}
+    if args.only and args.out.exists():
+        report = json.loads(args.out.read_text())
+    report.update({
         "benchmark": "pipeline",
         "python": sys.version.split()[0],
         # Measured on the pre-optimization seed tree (same box, same
@@ -245,12 +372,11 @@ def main(argv: list[str] | None = None) -> int:
             "crawl_day_mean_ms": 312.0,
             "crowd_checks_mean_ms": 486.3,
         },
-        "sheriff_check": bench_sheriff_check(args.rounds),
-        "store_replay": bench_store_replay(args.rounds),
-        "crawl_day": bench_crawl_day(args.heavy_rounds),
-        "crawl_day_scaling": bench_crawl_day_scaling(args.heavy_rounds),
-        "crowd_checks": bench_crowd_checks(args.heavy_rounds),
-    }
+    })
+    selected = args.only or sorted(BENCHES)
+    for name in selected:
+        fn, kind = BENCHES[name]
+        report[name] = fn(args.rounds if kind == "rounds" else args.heavy_rounds)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"\nwrote {args.out}", file=sys.stderr)

@@ -11,6 +11,12 @@ wide extremes, drops degenerate reports, and optionally enforces
 *repeatability*: a (product, pair-of-locations) relationship must point the
 same way on a majority of days, which suppresses A/B-test flukes (§2.2's
 "we repeated the same set of measurements multiple times").
+
+Given a columnar :class:`~repro.store.TableSlice` (what the datasets now
+hand out), cleaning runs as column passes, the guard is written through
+:meth:`~repro.store.ReportTable.set_guard` (column + materialized rows
+stay in sync), and ``CleanResult.kept`` is itself a slice -- so every
+downstream figure aggregation stays on the columnar kernels.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 from repro.core.reports import PriceCheckReport
 from repro.fx.convert import Converter, max_gap_ratio
 from repro.fx.rates import RateService
+from repro.store import TableSlice, as_table_slice
 
 __all__ = [
     "CleanResult",
@@ -36,15 +43,30 @@ def dataset_guard(
     rates: RateService, reports: Sequence[PriceCheckReport], *, margin: float = 0.0
 ) -> float:
     """The dataset-wide currency-translation guard threshold."""
-    if not reports:
+    if not len(reports):
         raise ValueError("no reports")
     currencies: set[str] = set()
     days: set[int] = set()
-    for report in reports:
-        days.add(report.day_index)
-        for obs in report.valid_observations():
-            if obs.currency:
-                currencies.add(obs.currency)
+    sliced = as_table_slice(reports)
+    if sliced is not None:
+        table = sliced.table
+        currency_value = table.currencies.value
+        seen_ids: set[int] = set()
+        for i in sliced.rows:
+            days.add(table.day_index[i])
+            for j in table.valid_obs_indices(i):
+                cid = table.o_currency_id[j]
+                if cid >= 0:
+                    seen_ids.add(cid)
+        currencies = {
+            code for code in (currency_value(cid) for cid in seen_ids) if code
+        }
+    else:
+        for report in reports:
+            days.add(report.day_index)
+            for obs in report.valid_observations():
+                if obs.currency:
+                    currencies.add(obs.currency)
     if not currencies:
         currencies = {"USD"}
     return max_gap_ratio(rates, currencies, days, margin=margin)
@@ -52,9 +74,14 @@ def dataset_guard(
 
 @dataclass
 class CleanResult:
-    """Cleaning outcome: surviving reports plus an accounting of drops."""
+    """Cleaning outcome: surviving reports plus an accounting of drops.
 
-    kept: list[PriceCheckReport] = field(default_factory=list)
+    ``kept`` is a ``Sequence[PriceCheckReport]`` -- a plain list on the
+    legacy path, a lazy :class:`~repro.store.TableSlice` on the columnar
+    one (list-style consumers cannot tell the difference).
+    """
+
+    kept: Sequence[PriceCheckReport] = field(default_factory=list)
     dropped: Counter = field(default_factory=Counter)
     guard: float = 1.0
 
@@ -83,6 +110,13 @@ def clean_reports(
     restricts *variation* verdicts to products whose variation recurs
     across measurement rounds (no-ops on single-day datasets).
     """
+    sliced = as_table_slice(reports)
+    if sliced is not None:
+        return _clean_kernel(
+            sliced, rates,
+            min_points=min_points, guard_margin=guard_margin,
+            require_repeatable=require_repeatable,
+        )
     result = CleanResult()
     if not reports:
         return result
@@ -102,7 +136,55 @@ def clean_reports(
         if repeatable is not None and report.has_variation and report.url not in repeatable:
             result.dropped["not-repeatable"] += 1
             continue
-        result.kept.append(report)
+        result.kept.append(report)  # type: ignore[union-attr]
+    return result
+
+
+def _clean_kernel(
+    sliced: TableSlice,
+    rates: RateService,
+    *,
+    min_points: int,
+    guard_margin: float,
+    require_repeatable: bool,
+) -> CleanResult:
+    result = CleanResult()
+    table = sliced.table
+    if not len(sliced):
+        result.kept = TableSlice(table, [])
+        return result
+    result.guard = dataset_guard(rates, sliced, margin=guard_margin)
+    repeatable_ids: Optional[set[int]] = None
+    if require_repeatable:
+        repeatable_ids = _repeatable_url_ids(sliced, guard=result.guard)
+    kept_rows: list[int] = []
+    guarded_rows: list[int] = []
+    o_amount = table.o_amount
+    for i in sliced.rows:
+        if table.n_valid[i] < min_points:
+            result.dropped["too-few-observations"] += 1
+            continue
+        if any(
+            o_amount[j] is not None and o_amount[j] <= 0
+            for j in table.valid_obs_indices(i)
+        ):
+            result.dropped["non-positive-price"] += 1
+            continue
+        guarded_rows.append(i)
+        if repeatable_ids is not None:
+            ratio = table.ratio[i]
+            if (
+                ratio is not None
+                and ratio > result.guard
+                and table.url_id[i] not in repeatable_ids
+            ):
+                result.dropped["not-repeatable"] += 1
+                continue
+        kept_rows.append(i)
+    # Same write the list path performs on each surviving dataclass, done
+    # once through the table so the column and cached rows agree.
+    table.set_guard(result.guard, guarded_rows)
+    result.kept = TableSlice(table, kept_rows)
     return result
 
 
@@ -157,6 +239,15 @@ def repeatable_products(
     variation.  Products measured once pass trivially (no repetition
     available to demand).
     """
+    sliced = as_table_slice(reports)
+    if sliced is not None:
+        url_value = sliced.table.urls.value
+        return {
+            url_value(uid)
+            for uid in _repeatable_url_ids(
+                sliced, guard=guard, min_fraction=min_fraction
+            )
+        }
     rounds: dict[str, list[bool]] = {}
     for report in reports:
         if len(report.valid_observations()) < 2:
@@ -171,3 +262,21 @@ def repeatable_products(
         elif sum(outcomes) / len(outcomes) > min_fraction:
             out.add(url)
     return out
+
+
+def _repeatable_url_ids(
+    sliced: TableSlice, *, guard: float, min_fraction: float = 0.5
+) -> set[int]:
+    table = sliced.table
+    rounds: dict[int, list[bool]] = {}
+    for i in sliced.rows:
+        if table.n_valid[i] < 2:
+            continue
+        ratio = table.ratio[i]
+        rounds.setdefault(table.url_id[i], []).append(
+            ratio is not None and ratio > guard
+        )
+    return {
+        uid for uid, outcomes in rounds.items()
+        if len(outcomes) == 1 or sum(outcomes) / len(outcomes) > min_fraction
+    }

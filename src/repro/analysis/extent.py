@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.reports import PriceCheckReport
+from repro.store import TableSlice, as_table_slice
 
 __all__ = ["variation_extent"]
 
@@ -17,9 +18,17 @@ __all__ = ["variation_extent"]
 def variation_extent(
     reports: Sequence[PriceCheckReport], *, min_reports: int = 1
 ) -> dict[str, float]:
-    """domain -> fraction of its checks that showed guarded variation."""
+    """domain -> fraction of its checks that showed guarded variation.
+
+    Accepts either a plain report sequence or a columnar
+    :class:`~repro.store.TableSlice`; the latter runs as a single pass
+    over the domain/ratio/guard columns.
+    """
     if min_reports < 1:
         raise ValueError("min_reports must be >= 1")
+    sliced = as_table_slice(reports)
+    if sliced is not None:
+        return _extent_kernel(sliced, min_reports)
     totals: dict[str, int] = {}
     varied: dict[str, int] = {}
     for report in reports:
@@ -31,5 +40,26 @@ def variation_extent(
     return {
         domain: varied.get(domain, 0) / total
         for domain, total in totals.items()
+        if total >= min_reports
+    }
+
+
+def _extent_kernel(sliced: TableSlice, min_reports: int) -> dict[str, float]:
+    table = sliced.table
+    ratio, guard, domain_id = table.ratio, table.guard, table.domain_id
+    totals: dict[int, int] = {}
+    varied: dict[int, int] = {}
+    for i in sliced.rows:
+        r = ratio[i]
+        if r is None:
+            continue
+        did = domain_id[i]
+        totals[did] = totals.get(did, 0) + 1
+        if r > guard[i]:
+            varied[did] = varied.get(did, 0) + 1
+    value = table.domains.value
+    return {
+        value(did): varied.get(did, 0) / total
+        for did, total in totals.items()
         if total >= min_reports
     }

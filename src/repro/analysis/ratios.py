@@ -10,8 +10,9 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
-from repro.analysis.stats import BoxStats
+from repro.analysis.stats import BoxStats, grouped_box_stats
 from repro.core.reports import PriceCheckReport
+from repro.store import as_table_slice
 
 __all__ = ["domain_variation_counts", "domain_ratio_stats", "domain_ratios"]
 
@@ -19,6 +20,16 @@ __all__ = ["domain_variation_counts", "domain_ratio_stats", "domain_ratios"]
 def domain_variation_counts(reports: Sequence[PriceCheckReport]) -> Counter:
     """domain -> number of reports whose variation beat the guard (Fig. 1)."""
     counts: Counter = Counter()
+    sliced = as_table_slice(reports)
+    if sliced is not None:
+        table = sliced.table
+        ratio, guard, domain_id = table.ratio, table.guard, table.domain_id
+        value = table.domains.value
+        for i in sliced.rows:
+            r = ratio[i]
+            if r is not None and r > guard[i]:
+                counts[value(domain_id[i])] += 1
+        return counts
     for report in reports:
         if report.has_variation:
             counts[report.domain] += 1
@@ -34,6 +45,20 @@ def domain_ratios(
     checks (Fig. 2 plots ratios *of the checks with differences*); without
     it every well-formed check contributes (Fig. 4 pools the full crawl).
     """
+    sliced = as_table_slice(reports)
+    if sliced is not None:
+        table = sliced.table
+        ratio, guard, domain_id = table.ratio, table.guard, table.domain_id
+        value = table.domains.value
+        grouped: dict[int, list[float]] = {}
+        for i in sliced.rows:
+            r = ratio[i]
+            if r is None:
+                continue
+            if only_variation and r <= guard[i]:
+                continue
+            grouped.setdefault(domain_id[i], []).append(r)
+        return {value(did): values for did, values in grouped.items()}
     out: dict[str, list[float]] = {}
     for report in reports:
         ratio = report.ratio
@@ -55,8 +80,4 @@ def domain_ratio_stats(
     if min_samples < 1:
         raise ValueError("min_samples must be >= 1")
     ratios = domain_ratios(reports, only_variation=only_variation)
-    return {
-        domain: BoxStats.from_values(values)
-        for domain, values in ratios.items()
-        if len(values) >= min_samples
-    }
+    return grouped_box_stats(ratios, min_samples=min_samples)

@@ -58,13 +58,16 @@ def dataset_summary(
             crowd_domains=crowd.n_domains,
         )
     if crawl is not None:
-        by_domain = crawl.by_domain()
+        # Columnar: distinct url ids per domain straight off the spine --
+        # no report materialization for a summary table.
+        table = crawl.table
+        by_domain_rows = table.rows_by_domain()
         per_retailer_products = [
-            len({report.url for report in reports})
-            for reports in by_domain.values()
+            len({table.url_id[i] for i in rows})
+            for rows in by_domain_rows.values()
         ]
         measured.update(
-            crawl_retailers=len(by_domain),
+            crawl_retailers=len(by_domain_rows),
             crawl_max_products_per_retailer=(
                 max(per_retailer_products) if per_retailer_products else 0
             ),

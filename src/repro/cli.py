@@ -76,8 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec(p_crawl)
     p_crawl.add_argument("--out", help="write the dataset to this JSONL file")
 
-    p_analyze = sub.add_parser("analyze", help="analyze a saved crawl dataset")
-    p_analyze.add_argument("dataset", help="JSONL file from 'crawl --out'")
+    p_analyze = sub.add_parser(
+        "analyze", help="analyze a saved dataset (crawl or crowd, auto-detected)"
+    )
+    p_analyze.add_argument("dataset",
+                           help="JSONL file from 'crawl --out' or 'campaign --out'")
     p_analyze.add_argument("--seed", type=int, default=2013,
                            help="seed of the run that produced the dataset "
                                 "(needed to reconstruct FX rates)")
@@ -136,8 +139,35 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    dataset = dataset_io.load_crawl_dataset(args.dataset)
-    rates = RateService(seed=args.seed)
+    # Both dataset kinds come out of this CLI's own --out; sniff the
+    # header instead of making the user remember which file was which.
+    kind, dataset = dataset_io.load_dataset(args.dataset)
+    if kind == "crowd":
+        return _analyze_crowd(dataset, seed=args.seed)
+    return _analyze_crawl(dataset, seed=args.seed)
+
+
+def _analyze_crowd(dataset, *, seed: int) -> int:
+    rates = RateService(seed=seed)
+    summary = dataset.summary()
+    clean = clean_reports(dataset.reports(), rates)
+    print(
+        f"loaded crowd dataset: {summary['requests']} checks / "
+        f"{summary['users']} users / {summary['countries']} countries / "
+        f"{summary['domains']} domains; guard x{clean.guard:.4f}"
+    )
+    print("\nchecks with variation per domain (Fig. 1):")
+    for domain, count in dataset.variation_counts().most_common(15):
+        print(f"  {domain:38s} {count}")
+    print("\nmagnitude (Fig. 2, median max/min ratio of flagged checks):")
+    stats = domain_ratio_stats(clean.kept, only_variation=True)
+    for domain in sorted(stats, key=lambda d: stats[d].median):
+        print(f"  {domain:38s} x{stats[domain].median:.3f}")
+    return 0
+
+
+def _analyze_crawl(dataset, *, seed: int) -> int:
+    rates = RateService(seed=seed)
     clean = clean_reports(dataset.reports, rates)
     print(
         f"loaded {len(dataset)} reports ({dataset.n_extracted_prices:,} prices); "

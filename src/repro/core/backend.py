@@ -105,8 +105,13 @@ class SupportsRun(Protocol):
         backend: "SheriffBackend",
         scheduled: Sequence[ScheduledCheck],
         fleet: Sequence[VantagePoint],
+        sink: Optional[Callable[[PriceCheckReport], None]] = None,
     ) -> list[PriceCheckReport]:  # pragma: no cover - protocol
-        """Execute every entry and return reports in submission order."""
+        """Execute every entry and return reports in submission order.
+
+        With a ``sink``, deliver each report to it in submission order
+        instead of accumulating a list (and return an empty list).
+        """
         ...
 
 
@@ -153,6 +158,7 @@ class SheriffBackend:
         pacing_seconds: float = 0.0,
         start_times: Optional[Sequence[float]] = None,
         executor: Optional["SupportsRun"] = None,
+        sink: Optional[Callable[[PriceCheckReport], None]] = None,
     ) -> list[PriceCheckReport]:
         """Run a burst of checks, amortizing per-day work across them.
 
@@ -171,6 +177,11 @@ class SheriffBackend:
         runs the schedule inline.  Amortized across the batch either way:
         URL parsing (memoized), day-index math, and the FX
         ``max_gap_ratio`` guard (cached per currency-set and day).
+
+        ``sink`` streams each report out in schedule order instead of
+        accumulating a list (the crawl appends rows straight into the
+        columnar dataset spine this way); the return value is then an
+        empty list.
         """
         if pacing_seconds < 0:
             raise ValueError("pacing_seconds must be >= 0")
@@ -207,12 +218,15 @@ class SheriffBackend:
             for i, request in enumerate(requests)
         ]
         if executor is None:
-            reports = [
-                self.run_scheduled_check(sched, fleet, self.store.archive)
-                for sched in scheduled
-            ]
+            reports = []
+            for sched in scheduled:
+                report = self.run_scheduled_check(sched, fleet, self.store.archive)
+                if sink is not None:
+                    sink(report)
+                else:
+                    reports.append(report)
         else:
-            reports = executor.run(self, scheduled, fleet)
+            reports = executor.run(self, scheduled, fleet, sink)
         if advance_after is not None:
             clock.advance_to(advance_after)
         return reports

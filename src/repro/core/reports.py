@@ -53,8 +53,13 @@ class PriceCheckReport:
 
     # ------------------------------------------------------------------
     def valid_observations(self) -> list[VantageObservation]:
-        """The observations that produced a usable USD price."""
-        return [obs for obs in self.observations if obs.ok and obs.usd]
+        """The observations that produced a usable USD price.
+
+        A free product is a price too: the test is ``usd is not None``,
+        not truthiness, so a legitimate ``usd == 0.0`` observation is
+        never silently dropped.
+        """
+        return [obs for obs in self.observations if obs.ok and obs.usd is not None]
 
     @property
     def prices_usd(self) -> list[float]:

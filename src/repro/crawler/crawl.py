@@ -95,12 +95,14 @@ def run_crawl(
                 for target in plan.targets
                 for url in target.product_urls
             ]
-            for report in backend.check_batch(
+            # Stream the day's merged reports straight into the dataset's
+            # columnar spine (plan order) -- no intermediate report list.
+            backend.check_batch(
                 requests,
                 pacing_seconds=config.pacing_seconds,
                 executor=active,
-            ):
-                dataset.add(report)
+                sink=dataset.add,
+            )
     finally:
         if owned is not None:
             owned.close()

@@ -1,27 +1,54 @@
-"""The crawled dataset: reports from the systematic daily crawl."""
+"""The crawled dataset: reports from the systematic daily crawl.
+
+Since the columnar-store refactor this is a thin view over a
+:class:`~repro.store.ReportTable`: :meth:`CrawlDataset.add` appends
+columns (no dataclass is retained), ``dataset.reports`` is a lazy
+:class:`~repro.store.TableSlice`, and the grouping accessors ride the
+table's cached, version-invalidated indexes instead of rebuilding a
+dict of dataclasses on every call.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.core.reports import PriceCheckReport
+from repro.store import ReportTable, TableSlice
 
 __all__ = ["CrawlDataset"]
 
 
-@dataclass
 class CrawlDataset:
     """All product-day reports produced by :func:`repro.crawler.run_crawl`."""
 
-    reports: list[PriceCheckReport] = field(default_factory=list)
+    def __init__(
+        self,
+        reports: Optional[list[PriceCheckReport]] = None,
+        *,
+        table: Optional[ReportTable] = None,
+    ) -> None:
+        if reports and table is not None:
+            raise ValueError("pass reports or table, not both")
+        self._table = table if table is not None else ReportTable()
+        if reports:
+            self._table.extend(reports)
+
+    @property
+    def table(self) -> ReportTable:
+        """The columnar spine backing this dataset."""
+        return self._table
+
+    @property
+    def reports(self) -> TableSlice:
+        """All reports, as a lazy list-compatible view."""
+        return TableSlice(self._table)
 
     def add(self, report: PriceCheckReport) -> None:
         """Append one product-day report."""
-        self.reports.append(report)
+        self._table.append(report)
 
     def __len__(self) -> int:
-        return len(self.reports)
+        return len(self._table)
 
     def __iter__(self) -> Iterator[PriceCheckReport]:
         return iter(self.reports)
@@ -29,37 +56,44 @@ class CrawlDataset:
     # ------------------------------------------------------------------
     @property
     def domains(self) -> list[str]:
-        return sorted({report.domain for report in self.reports})
+        value = self._table.domains.value
+        return sorted(value(did) for did in self._table.rows_by_domain())
 
     @property
     def day_indices(self) -> list[int]:
-        return sorted({report.day_index for report in self.reports})
+        return self._table.day_values()
 
     @property
     def n_extracted_prices(self) -> int:
         """Total successful price extractions -- the paper's '188K'."""
-        return sum(len(report.valid_observations()) for report in self.reports)
+        return sum(self._table.n_valid)
 
     def by_domain(self) -> dict[str, list[PriceCheckReport]]:
         """Reports grouped by retailer domain."""
-        out: dict[str, list[PriceCheckReport]] = {}
-        for report in self.reports:
-            out.setdefault(report.domain, []).append(report)
-        return out
+        table = self._table
+        return {
+            table.domains.value(did): [table.report(i) for i in rows]
+            for did, rows in table.rows_by_domain().items()
+        }
 
     def by_product(self) -> dict[str, list[PriceCheckReport]]:
         """URL -> that product's reports across days."""
-        out: dict[str, list[PriceCheckReport]] = {}
-        for report in self.reports:
-            out.setdefault(report.url, []).append(report)
-        return out
+        table = self._table
+        return {
+            table.urls.value(uid): [table.report(i) for i in rows]
+            for uid, rows in table.rows_by_url().items()
+        }
 
     def summary(self) -> dict[str, int]:
         """Headline dataset statistics (the §3.2 crawl numbers)."""
+        table = self._table
         return {
-            "retailers": len(self.domains),
-            "reports": len(self.reports),
-            "days": len(self.day_indices),
+            "retailers": len(table.rows_by_domain()),
+            "reports": len(table),
+            "days": len(table.day_values()),
             "extracted_prices": self.n_extracted_prices,
-            "products": len(self.by_product()),
+            "products": len(table.rows_by_url()),
         }
+
+    def __repr__(self) -> str:
+        return f"CrawlDataset({len(self)} reports)"

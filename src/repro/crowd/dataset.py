@@ -3,16 +3,26 @@
 Everything Figs. 1-2 need lives here: per-domain counts of checks showing
 variation, per-domain ratio distributions, and the §3.2 headline numbers
 (requests, users, countries, domains).
+
+Since the columnar-store refactor the dataset is a thin view over the
+shared spine: fleet reports live in a :class:`~repro.store.ReportTable`
+(one row per completed check), while the record-level facts -- who asked,
+from where, what they themselves saw -- are parallel columns alongside
+it.  :class:`CheckRecord` objects materialize lazily and are cached;
+the Fig. 1/2 aggregations are single passes over the columns.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.core.extension import CheckOutcome
 from repro.core.reports import PriceCheckReport
+from repro.store import ReportTable, StringPool, TableSlice
+from repro.store.table import NO_CURRENCY, _check_ids
 
 __all__ = ["CheckRecord", "CrowdDataset"]
 
@@ -37,18 +47,131 @@ class CheckRecord:
         return self.outcome.ok
 
 
-@dataclass
-class CrowdDataset:
-    """The full beta-phase collection."""
+class _RecordsView(Sequence):
+    """Lazy ``Sequence[CheckRecord]`` over the dataset's columns."""
 
-    records: list[CheckRecord] = field(default_factory=list)
+    __slots__ = ("_dataset",)
+
+    def __init__(self, dataset: "CrowdDataset") -> None:
+        self._dataset = dataset
+
+    def __len__(self) -> int:
+        return len(self._dataset)
+
+    def __getitem__(self, index: Union[int, slice]):
+        n = len(self._dataset)
+        if isinstance(index, slice):
+            return [self._dataset.record(i) for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("record index out of range")
+        return self._dataset.record(index)
+
+    def __iter__(self) -> Iterator[CheckRecord]:
+        for i in range(len(self._dataset)):
+            yield self._dataset.record(i)
+
+
+class CrowdDataset:
+    """The full beta-phase collection (a view over the columnar spine)."""
+
+    def __init__(self, records: Optional[list[CheckRecord]] = None) -> None:
+        self._table = ReportTable()
+        # Record-level pools (domains/urls/currencies reuse the table's).
+        self._users = StringPool()
+        self._user_countries = StringPool()
+        self._failures = StringPool()
+        # Record-level columns.
+        self._r_user_id: list[int] = []
+        self._r_country_id: list[int] = []
+        self._r_day: list[int] = []
+        self._r_domain_id: list[int] = []
+        self._r_url_id: list[int] = []
+        # Outcome columns (the extension's view of the same click).
+        self._o_url_id: list[int] = []
+        self._o_user_id: list[int] = []
+        self._o_amount: list[Optional[float]] = []
+        self._o_currency_id: list[int] = []
+        self._o_failure_id: list[int] = []
+        #: Row in the report table, or -1 when the flow never reached the
+        #: backend (page unreachable, nothing highlightable).
+        self._report_row: list[int] = []
+        # Weak, like ReportTable's row cache: identity-stable while
+        # referenced, collectable after a full list-style pass.
+        self._record_cache: "weakref.WeakValueDictionary[int, CheckRecord]" = (
+            weakref.WeakValueDictionary()
+        )
+        if records:
+            for record in records:
+                self.add(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> ReportTable:
+        """The columnar spine holding the completed checks' reports."""
+        return self._table
+
+    @property
+    def records(self) -> _RecordsView:
+        """All crowd check records, as a lazy list-compatible view."""
+        return _RecordsView(self)
 
     def add(self, record: CheckRecord) -> None:
         """Append one crowd check record."""
-        self.records.append(record)
+        table = self._table
+        self._r_user_id.append(self._users.intern(record.user_id))
+        self._r_country_id.append(self._user_countries.intern(record.user_country))
+        self._r_day.append(record.day_index)
+        self._r_domain_id.append(table.domains.intern(record.domain))
+        self._r_url_id.append(table.urls.intern(record.url))
+        outcome = record.outcome
+        self._o_url_id.append(table.urls.intern(outcome.url))
+        self._o_user_id.append(self._users.intern(outcome.user))
+        self._o_amount.append(outcome.user_amount)
+        self._o_currency_id.append(
+            NO_CURRENCY if outcome.user_currency is None
+            else table.currencies.intern(outcome.user_currency)
+        )
+        self._o_failure_id.append(self._failures.intern(outcome.failure))
+        self._report_row.append(
+            table.append(outcome.report) if outcome.report is not None else -1
+        )
+
+    def record(self, i: int) -> CheckRecord:
+        """Record ``i`` as a :class:`CheckRecord` (lazily built, cached
+        weakly -- same object while any reference to it is alive)."""
+        if not 0 <= i < len(self):
+            raise IndexError(f"record index {i} out of range")
+        cached = self._record_cache.get(i)
+        if cached is None:
+            table = self._table
+            row = self._report_row[i]
+            currency_id = self._o_currency_id[i]
+            outcome = CheckOutcome(
+                url=table.urls.value(self._o_url_id[i]),
+                user=self._users.value(self._o_user_id[i]),
+                report=table.report(row) if row >= 0 else None,
+                user_amount=self._o_amount[i],
+                user_currency=(
+                    None if currency_id == NO_CURRENCY
+                    else table.currencies.value(currency_id)
+                ),
+                failure=self._failures.value(self._o_failure_id[i]),
+            )
+            cached = CheckRecord(
+                user_id=self._users.value(self._r_user_id[i]),
+                user_country=self._user_countries.value(self._r_country_id[i]),
+                day_index=self._r_day[i],
+                domain=table.domains.value(self._r_domain_id[i]),
+                url=table.urls.value(self._r_url_id[i]),
+                outcome=outcome,
+            )
+            self._record_cache[i] = cached
+        return cached
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._r_user_id)
 
     def __iter__(self) -> Iterator[CheckRecord]:
         return iter(self.records)
@@ -58,19 +181,19 @@ class CrowdDataset:
     # ------------------------------------------------------------------
     @property
     def n_requests(self) -> int:
-        return len(self.records)
+        return len(self)
 
     @property
     def n_users(self) -> int:
-        return len({record.user_id for record in self.records})
+        return len(set(self._r_user_id))
 
     @property
     def n_countries(self) -> int:
-        return len({record.user_country for record in self.records})
+        return len(set(self._r_country_id))
 
     @property
     def n_domains(self) -> int:
-        return len({record.domain for record in self.records})
+        return len(set(self._r_domain_id))
 
     def summary(self) -> dict[str, int]:
         """The §3.2 headline numbers of this dataset."""
@@ -82,39 +205,133 @@ class CrowdDataset:
         }
 
     # ------------------------------------------------------------------
-    # Figure inputs
+    # Figure inputs (single-pass columnar aggregations)
     # ------------------------------------------------------------------
-    def reports(self) -> list[PriceCheckReport]:
-        """All successfully completed check reports."""
-        return [record.report for record in self.records if record.report]
+    def reports(self) -> TableSlice:
+        """All successfully completed check reports (lazy view)."""
+        return TableSlice(
+            self._table, [row for row in self._report_row if row >= 0]
+        )
 
     def variation_counts(self) -> Counter:
         """domain -> number of requests whose variation beat the guard.
 
         This is exactly Fig. 1's y-axis.
         """
+        table = self._table
         counts: Counter = Counter()
-        for record in self.records:
-            report = record.report
-            if report is not None and report.has_variation:
-                counts[record.domain] += 1
+        for i, row in enumerate(self._report_row):
+            if row >= 0 and table.row_has_variation(row):
+                counts[table.domains.value(self._r_domain_id[i])] += 1
         return counts
 
     def ratios_by_domain(self, *, only_variation: bool = True) -> dict[str, list[float]]:
         """domain -> list of per-check max/min ratios (Fig. 2's input)."""
+        table = self._table
         out: dict[str, list[float]] = {}
-        for record in self.records:
-            report = record.report
-            if report is None:
+        for i, row in enumerate(self._report_row):
+            if row < 0:
                 continue
-            ratio = report.ratio
+            ratio = table.ratio[row]
             if ratio is None:
                 continue
-            if only_variation and not report.has_variation:
+            if only_variation and ratio <= table.guard[row]:
                 continue
-            out.setdefault(record.domain, []).append(ratio)
+            domain = table.domains.value(self._r_domain_id[i])
+            out.setdefault(domain, []).append(ratio)
         return out
 
     def checks_for_domain(self, domain: str) -> list[CheckRecord]:
         """Every check the crowd ran against one domain."""
-        return [record for record in self.records if record.domain == domain]
+        did = self._table.domains.id_of(domain)
+        if did is None:
+            return []
+        return [
+            self.record(i)
+            for i, record_did in enumerate(self._r_domain_id)
+            if record_did == did
+        ]
+
+    # ------------------------------------------------------------------
+    # Columnar (de)serialization -- the io layer's compact layout
+    # ------------------------------------------------------------------
+    def record_columns(self) -> dict:
+        """The record-level columns as JSON-ready dicts.
+
+        Domain/url/currency ids reference the report table's pools (the
+        io layer serializes those with :meth:`ReportTable.to_columns`);
+        the record-only pools ride along under ``"pools"``.
+        """
+        return {
+            "pools": {
+                "users": self._users.values,
+                "user_countries": self._user_countries.values,
+                "failures": self._failures.values,
+            },
+            "user": self._r_user_id,
+            "country": self._r_country_id,
+            "day": self._r_day,
+            "domain": self._r_domain_id,
+            "url": self._r_url_id,
+            "outcome_url": self._o_url_id,
+            "outcome_user": self._o_user_id,
+            "user_amount": self._o_amount,
+            "user_currency": self._o_currency_id,
+            "failure": self._o_failure_id,
+            "report_row": self._report_row,
+        }
+
+    @classmethod
+    def from_columns(
+        cls, table: ReportTable, pools: dict, records: dict
+    ) -> "CrowdDataset":
+        """Rebuild a dataset from a table plus :meth:`record_columns` data."""
+        dataset = cls()
+        dataset._table = table
+        try:
+            dataset._users = StringPool(pools["users"])
+            dataset._user_countries = StringPool(pools["user_countries"])
+            dataset._failures = StringPool(pools["failures"])
+            dataset._r_user_id = [int(v) for v in records["user"]]
+            n = len(dataset._r_user_id)
+            dataset._r_country_id = [int(v) for v in records["country"]]
+            dataset._r_day = [int(v) for v in records["day"]]
+            dataset._r_domain_id = [int(v) for v in records["domain"]]
+            dataset._r_url_id = [int(v) for v in records["url"]]
+            dataset._o_url_id = [int(v) for v in records["outcome_url"]]
+            dataset._o_user_id = [int(v) for v in records["outcome_user"]]
+            dataset._o_amount = [
+                None if v is None else float(v) for v in records["user_amount"]
+            ]
+            dataset._o_currency_id = [int(v) for v in records["user_currency"]]
+            dataset._o_failure_id = [int(v) for v in records["failure"]]
+            dataset._report_row = [int(v) for v in records["report_row"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad crowd record columns: {exc}") from exc
+        cols = (
+            dataset._r_country_id, dataset._r_day, dataset._r_domain_id,
+            dataset._r_url_id, dataset._o_url_id, dataset._o_user_id,
+            dataset._o_amount, dataset._o_currency_id,
+            dataset._o_failure_id, dataset._report_row,
+        )
+        if any(len(col) != n for col in cols):
+            raise ValueError("crowd record columns have mismatched lengths")
+        if any(
+            row < -1 or row >= len(table) for row in dataset._report_row
+        ):
+            raise ValueError("report_row references outside the report table")
+        _check_ids("user", dataset._r_user_id, dataset._users)
+        _check_ids("outcome user", dataset._o_user_id, dataset._users)
+        _check_ids("country", dataset._r_country_id, dataset._user_countries)
+        _check_ids("failure", dataset._o_failure_id, dataset._failures)
+        _check_ids("domain", dataset._r_domain_id, table.domains)
+        _check_ids("url", dataset._r_url_id, table.urls)
+        _check_ids("outcome url", dataset._o_url_id, table.urls)
+        _check_ids(
+            "user currency", dataset._o_currency_id, table.currencies,
+            sentinel=NO_CURRENCY,
+        )
+        return dataset
+
+    def __repr__(self) -> str:
+        return f"CrowdDataset({len(self)} records)"

@@ -10,7 +10,7 @@ leaving the store exactly as the sequential loop would.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.exec.plan import ShardPlan
 
@@ -26,6 +26,7 @@ def merge_in_plan_order(
     backend: "SheriffBackend",
     scheduled: Sequence["ScheduledCheck"],
     merged: dict[int, tuple["PriceCheckReport", list[dict]]],
+    sink: Optional[Callable[["PriceCheckReport"], None]] = None,
 ) -> list["PriceCheckReport"]:
     """Reassemble per-shard results into submission order.
 
@@ -33,13 +34,20 @@ def merge_in_plan_order(
     Archives replay into ``backend.store`` in plan order, so retention
     caps and content interning fire in the same sequence -- and therefore
     retain the same pages -- as the inline loop.
+
+    With a ``sink``, each report is handed over in plan order instead of
+    being accumulated (the crawl streams reports straight into the
+    columnar dataset spine this way) and the returned list is empty.
     """
     reports: list["PriceCheckReport"] = []
     for sched in scheduled:
         report, archives = merged[sched.index]
         for kwargs in archives:
             backend.store.archive(**kwargs)
-        reports.append(report)
+        if sink is not None:
+            sink(report)
+        else:
+            reports.append(report)
     return reports
 
 
@@ -54,6 +62,7 @@ class LocalExecutor:
         backend: "SheriffBackend",
         scheduled: Sequence["ScheduledCheck"],
         fleet: Sequence["VantagePoint"],
+        sink: Optional[Callable[["PriceCheckReport"], None]] = None,
     ) -> list["PriceCheckReport"]:
         """Execute every schedule entry, shard by shard, and merge."""
         merged: dict[int, tuple["PriceCheckReport", list[dict]]] = {}
@@ -64,7 +73,7 @@ class LocalExecutor:
                     sched, fleet, lambda **kwargs: archives.append(kwargs)
                 )
                 merged[sched.index] = (report, archives)
-        return merge_in_plan_order(backend, scheduled, merged)
+        return merge_in_plan_order(backend, scheduled, merged, sink)
 
     def close(self) -> None:
         """Nothing to release (symmetry with :class:`ProcessExecutor`)."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import sys
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.ecommerce.world import WorldSpec
 from repro.exec.local import merge_in_plan_order
@@ -157,6 +157,7 @@ class ProcessExecutor:
         backend: "SheriffBackend",
         scheduled: Sequence["ScheduledCheck"],
         fleet: Sequence["VantagePoint"],
+        sink: Optional[Callable[["PriceCheckReport"], None]] = None,
     ) -> list["PriceCheckReport"]:
         """Dispatch shards to the pool and merge results in plan order."""
         expected = [vp.name for vp in self._world.vantage_points]
@@ -199,7 +200,7 @@ class ProcessExecutor:
                 fleet, self._world.servers, domains,
                 jar_snapshots, server_counts,
             )
-        return merge_in_plan_order(backend, scheduled, merged)
+        return merge_in_plan_order(backend, scheduled, merged, sink)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

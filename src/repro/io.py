@@ -2,15 +2,24 @@
 
 The paper's backend "store[s] the pages for analysis in a database"; the
 measurement datasets likewise need to outlive a process so the expensive
-crawl can be analyzed repeatedly.  Format:
+crawl can be analyzed repeatedly.  Two layouts share one header line:
 
-* line 1 -- a header object: ``{"format": "repro-reports", "version": 1,
-  "kind": "crawl"|"crowd", ...metadata}``,
-* every further line -- one serialized :class:`PriceCheckReport` (for
-  crawl datasets) or one crowd check record wrapping a report.
+* **rows** (the original) -- line 1 a header object ``{"format":
+  "repro-reports", "version": 1, "kind": "crawl"|"crowd", ...metadata}``,
+  every further line one serialized :class:`PriceCheckReport` (crawl) or
+  one crowd check record wrapping a report;
+* **columnar** (``layout: "columnar"`` in the header) -- the
+  :class:`~repro.store.ReportTable`'s own shape: one line of string
+  pools, one line of report columns, one line of observation columns
+  (crowd files add a fourth line of record columns).  Loading rebuilds
+  the table directly -- no per-report dict round-trip -- and both layouts
+  load to equal datasets (test-asserted).
 
 Readers validate the header and fail loudly on version mismatch -- silent
 misreads of measurement data are worse than crashes.
+:func:`load_dataset` sniffs the header's ``kind`` so callers (the CLI's
+``analyze``) need not know which of their own ``--out`` files they were
+handed.
 """
 
 from __future__ import annotations
@@ -23,6 +32,8 @@ from repro.core.extension import CheckOutcome
 from repro.core.reports import PriceCheckReport, VantageObservation
 from repro.crawler.records import CrawlDataset
 from repro.crowd.dataset import CheckRecord, CrowdDataset
+from repro.store import ReportTable
+from repro.store.table import NO_CURRENCY
 
 __all__ = [
     "DatasetFormatError",
@@ -30,12 +41,16 @@ __all__ = [
     "load_crawl_dataset",
     "save_crowd_dataset",
     "load_crowd_dataset",
+    "dataset_kind",
+    "load_dataset",
     "report_to_dict",
     "report_from_dict",
 ]
 
 FORMAT_NAME = "repro-reports"
 FORMAT_VERSION = 1
+LAYOUT_ROWS = "rows"
+LAYOUT_COLUMNAR = "columnar"
 
 
 class DatasetFormatError(ValueError):
@@ -127,23 +142,29 @@ def _write_lines(path: Union[str, Path], header: dict, rows: Iterable[dict]) -> 
     return count
 
 
-def _read_lines(path: Union[str, Path], expected_kind: str) -> tuple[dict, list[dict]]:
+def _read_header(path: Path, first: str) -> dict:
+    if not first.strip():
+        raise DatasetFormatError(f"{path} is empty")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise DatasetFormatError(f"{path}: bad header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+        raise DatasetFormatError(f"{path}: not a {FORMAT_NAME} file")
+    if header.get("version") != FORMAT_VERSION:
+        raise DatasetFormatError(
+            f"{path}: unsupported version {header.get('version')!r}"
+        )
+    return header
+
+
+def _read_lines(
+    path: Union[str, Path], expected_kind: Optional[str]
+) -> tuple[dict, list[dict]]:
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
-        first = fh.readline()
-        if not first.strip():
-            raise DatasetFormatError(f"{path} is empty")
-        try:
-            header = json.loads(first)
-        except json.JSONDecodeError as exc:
-            raise DatasetFormatError(f"{path}: bad header: {exc}") from exc
-        if header.get("format") != FORMAT_NAME:
-            raise DatasetFormatError(f"{path}: not a {FORMAT_NAME} file")
-        if header.get("version") != FORMAT_VERSION:
-            raise DatasetFormatError(
-                f"{path}: unsupported version {header.get('version')!r}"
-            )
-        if header.get("kind") != expected_kind:
+        header = _read_header(path, fh.readline())
+        if expected_kind is not None and header.get("kind") != expected_kind:
             raise DatasetFormatError(
                 f"{path}: kind {header.get('kind')!r}, expected {expected_kind!r}"
             )
@@ -158,20 +179,85 @@ def _read_lines(path: Union[str, Path], expected_kind: str) -> tuple[dict, list[
     return header, rows
 
 
+def dataset_kind(path: Union[str, Path]) -> str:
+    """The ``kind`` declared in a dataset file's header (header-only read)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = _read_header(path, fh.readline())
+    kind = header.get("kind")
+    if kind not in ("crawl", "crowd"):
+        raise DatasetFormatError(f"{path}: unknown dataset kind {kind!r}")
+    return kind
+
+
+def load_dataset(
+    path: Union[str, Path]
+) -> tuple[str, Union[CrawlDataset, CrowdDataset]]:
+    """Load either dataset kind, sniffing the header: (kind, dataset)."""
+    kind = dataset_kind(path)
+    if kind == "crawl":
+        return kind, load_crawl_dataset(path)
+    return kind, load_crowd_dataset(path)
+
+
+# ----------------------------------------------------------------------
+# Columnar layout plumbing
+# ----------------------------------------------------------------------
+def _columnar_sections(
+    path: Union[str, Path], rows: list[dict], names: tuple[str, ...]
+) -> list[dict]:
+    if len(rows) != len(names):
+        raise DatasetFormatError(
+            f"{path}: columnar layout expects {len(names)} column lines "
+            f"({', '.join(names)}), found {len(rows)}"
+        )
+    sections = []
+    for row, name in zip(rows, names):
+        section = row.get(name) if isinstance(row, dict) else None
+        if not isinstance(section, dict):
+            raise DatasetFormatError(f"{path}: missing columnar section {name!r}")
+        sections.append(section)
+    return sections
+
+
+def _table_from_sections(path: Union[str, Path], sections: list[dict]) -> ReportTable:
+    try:
+        return ReportTable.from_columns(*sections)
+    except ValueError as exc:
+        raise DatasetFormatError(f"{path}: {exc}") from exc
+
+
 # ----------------------------------------------------------------------
 # Crawl dataset
 # ----------------------------------------------------------------------
 def save_crawl_dataset(
-    dataset: CrawlDataset, path: Union[str, Path], *, seed: Optional[int] = None
+    dataset: CrawlDataset,
+    path: Union[str, Path],
+    *,
+    seed: Optional[int] = None,
+    columnar: bool = False,
 ) -> int:
-    """Write a crawl dataset; returns the number of report lines."""
+    """Write a crawl dataset; returns the number of data lines written.
+
+    ``columnar=True`` dumps the backing table's columns (3 lines however
+    large the dataset) instead of one line per report; both layouts load
+    back to equal datasets.
+    """
     header = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "kind": "crawl",
-        "reports": len(dataset.reports),
+        "layout": LAYOUT_COLUMNAR if columnar else LAYOUT_ROWS,
+        "reports": len(dataset),
         "seed": seed,
     }
+    if columnar:
+        pools, reports, observations = dataset.table.to_columns()
+        return _write_lines(
+            path, header,
+            ({"pools": pools}, {"reports": reports},
+             {"observations": observations}),
+        )
     return _write_lines(
         path, header, (report_to_dict(r) for r in dataset.reports)
     )
@@ -179,7 +265,12 @@ def save_crawl_dataset(
 
 def load_crawl_dataset(path: Union[str, Path]) -> CrawlDataset:
     """Read a crawl dataset written by :func:`save_crawl_dataset`."""
-    _, rows = _read_lines(path, "crawl")
+    header, rows = _read_lines(path, "crawl")
+    if header.get("layout") == LAYOUT_COLUMNAR:
+        sections = _columnar_sections(
+            path, rows, ("pools", "reports", "observations")
+        )
+        return CrawlDataset(table=_table_from_sections(path, sections))
     dataset = CrawlDataset()
     for row in rows:
         dataset.add(report_from_dict(row))
@@ -189,40 +280,64 @@ def load_crawl_dataset(path: Union[str, Path]) -> CrawlDataset:
 # ----------------------------------------------------------------------
 # Crowd dataset
 # ----------------------------------------------------------------------
+def _crowd_record_row(record: CheckRecord) -> dict:
+    return {
+        "user": record.user_id,
+        "country": record.user_country,
+        "day": record.day_index,
+        "domain": record.domain,
+        "url": record.url,
+        "user_amount": record.outcome.user_amount,
+        "user_currency": record.outcome.user_currency,
+        "failure": record.outcome.failure,
+        "report": (
+            report_to_dict(record.report) if record.report else None
+        ),
+    }
+
+
 def save_crowd_dataset(
-    dataset: CrowdDataset, path: Union[str, Path], *, seed: Optional[int] = None
+    dataset: CrowdDataset,
+    path: Union[str, Path],
+    *,
+    seed: Optional[int] = None,
+    columnar: bool = False,
 ) -> int:
-    """Write a crowd dataset; returns the number of record lines."""
+    """Write a crowd dataset; returns the number of data lines written."""
     header = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "kind": "crowd",
-        "records": len(dataset.records),
+        "layout": LAYOUT_COLUMNAR if columnar else LAYOUT_ROWS,
+        "records": len(dataset),
         "seed": seed,
     }
-
-    def rows() -> Iterable[dict]:
-        for record in dataset.records:
-            yield {
-                "user": record.user_id,
-                "country": record.user_country,
-                "day": record.day_index,
-                "domain": record.domain,
-                "url": record.url,
-                "user_amount": record.outcome.user_amount,
-                "user_currency": record.outcome.user_currency,
-                "failure": record.outcome.failure,
-                "report": (
-                    report_to_dict(record.report) if record.report else None
-                ),
-            }
-
-    return _write_lines(path, header, rows())
+    if columnar:
+        pools, reports, observations = dataset.table.to_columns()
+        records = dataset.record_columns()
+        pools = dict(pools, **records.pop("pools"))
+        return _write_lines(
+            path, header,
+            ({"pools": pools}, {"reports": reports},
+             {"observations": observations}, {"records": records}),
+        )
+    return _write_lines(
+        path, header, (_crowd_record_row(record) for record in dataset.records)
+    )
 
 
 def load_crowd_dataset(path: Union[str, Path]) -> CrowdDataset:
     """Read a crowd dataset written by :func:`save_crowd_dataset`."""
-    _, rows = _read_lines(path, "crowd")
+    header, rows = _read_lines(path, "crowd")
+    if header.get("layout") == LAYOUT_COLUMNAR:
+        sections = _columnar_sections(
+            path, rows, ("pools", "reports", "observations", "records")
+        )
+        table = _table_from_sections(path, sections[:3])
+        try:
+            return CrowdDataset.from_columns(table, sections[0], sections[3])
+        except ValueError as exc:
+            raise DatasetFormatError(f"{path}: {exc}") from exc
     dataset = CrowdDataset()
     for row in rows:
         try:

@@ -54,6 +54,20 @@ class TestBasics:
         assert report.min_usd is None
         assert report.ratio is None
 
+    def test_zero_usd_is_a_valid_observation(self):
+        """Regression: ``usd == 0.0`` (a free product) must not be
+        silently dropped by a truthiness check."""
+        report = make([0.0, 5.0])
+        assert len(report.valid_observations()) == 2
+        assert report.prices_usd == [0.0, 5.0]
+        assert report.min_usd == 0.0
+        assert report.max_usd == 5.0
+        # A zero minimum still yields no ratio (division guard) ...
+        assert report.ratio is None
+        assert not report.has_variation
+        # ... and ratios-to-minimum are undefined at min == 0.
+        assert report.ratios_by_vantage() == {}
+
     def test_guard_strictness(self):
         at_guard = make([100.0, 102.0], guard=1.02)
         assert not at_guard.has_variation  # strictly greater required

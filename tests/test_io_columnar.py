@@ -1,0 +1,144 @@
+"""Columnar dataset files: round-trip equality with the row layout, and
+the CLI's kind auto-detection."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro import io as dataset_io
+from repro.io import report_to_dict
+
+
+def crawl_record_dicts(dataset):
+    return [report_to_dict(r) for r in dataset.reports]
+
+
+def crowd_record_dicts(dataset):
+    return [
+        {
+            "user": rec.user_id, "country": rec.user_country,
+            "day": rec.day_index, "domain": rec.domain, "url": rec.url,
+            "outcome_url": rec.outcome.url, "outcome_user": rec.outcome.user,
+            "amount": rec.outcome.user_amount,
+            "currency": rec.outcome.user_currency,
+            "failure": rec.outcome.failure,
+            "report": report_to_dict(rec.report) if rec.report else None,
+        }
+        for rec in dataset.records
+    ]
+
+
+class TestCrawlColumnar:
+    def test_roundtrip_equals_row_layout(self, tiny_ctx, tmp_path: Path):
+        dataset = tiny_ctx.crawl
+        rows_path = tmp_path / "crawl_rows.jsonl"
+        cols_path = tmp_path / "crawl_cols.jsonl"
+        dataset_io.save_crawl_dataset(dataset, rows_path, seed=2013)
+        lines = dataset_io.save_crawl_dataset(
+            dataset, cols_path, seed=2013, columnar=True
+        )
+        assert lines == 3  # pools + report columns + observation columns
+        from_rows = dataset_io.load_crawl_dataset(rows_path)
+        from_cols = dataset_io.load_crawl_dataset(cols_path)
+        assert crawl_record_dicts(from_cols) == crawl_record_dicts(from_rows)
+        assert from_cols.summary() == dataset.summary()
+
+    def test_columnar_is_compact(self, tiny_ctx, tmp_path: Path):
+        dataset = tiny_ctx.crawl
+        rows_path = tmp_path / "rows.jsonl"
+        cols_path = tmp_path / "cols.jsonl"
+        dataset_io.save_crawl_dataset(dataset, rows_path)
+        dataset_io.save_crawl_dataset(dataset, cols_path, columnar=True)
+        assert cols_path.stat().st_size < 0.5 * rows_path.stat().st_size
+
+    def test_corrupt_columnar_sections(self, tiny_ctx, tmp_path: Path):
+        path = tmp_path / "cols.jsonl"
+        dataset_io.save_crawl_dataset(tiny_ctx.crawl, path, columnar=True)
+        lines = path.read_text().splitlines()
+        # Drop the observations line: wrong section count must fail loudly.
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crawl_dataset(path)
+
+    def test_legacy_header_without_layout_still_loads(self, tmp_path: Path):
+        """Files written before the layout field (PR <= 2) stay readable."""
+        import json
+
+        from tests.test_io_cli import make_report
+
+        path = tmp_path / "old.jsonl"
+        header = {"format": "repro-reports", "version": 1, "kind": "crawl"}
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps(report_to_dict(make_report())) + "\n"
+        )
+        loaded = dataset_io.load_crawl_dataset(path)
+        assert len(loaded) == 1
+
+
+class TestCrowdColumnar:
+    def test_roundtrip_equals_row_layout(self, tiny_ctx, tmp_path: Path):
+        dataset = tiny_ctx.crowd
+        rows_path = tmp_path / "crowd_rows.jsonl"
+        cols_path = tmp_path / "crowd_cols.jsonl"
+        dataset_io.save_crowd_dataset(dataset, rows_path, seed=2013)
+        lines = dataset_io.save_crowd_dataset(
+            dataset, cols_path, seed=2013, columnar=True
+        )
+        assert lines == 4  # pools + reports + observations + records
+        from_rows = dataset_io.load_crowd_dataset(rows_path)
+        from_cols = dataset_io.load_crowd_dataset(cols_path)
+        assert crowd_record_dicts(from_cols) == crowd_record_dicts(from_rows)
+        assert from_cols.summary() == dataset.summary()
+        assert from_cols.variation_counts() == dataset.variation_counts()
+        assert from_cols.ratios_by_domain() == dataset.ratios_by_domain()
+
+
+class TestKindDetection:
+    def test_dataset_kind(self, tiny_ctx, tmp_path: Path):
+        crawl_path = tmp_path / "a.jsonl"
+        crowd_path = tmp_path / "b.jsonl"
+        dataset_io.save_crawl_dataset(tiny_ctx.crawl, crawl_path)
+        dataset_io.save_crowd_dataset(tiny_ctx.crowd, crowd_path, columnar=True)
+        assert dataset_io.dataset_kind(crawl_path) == "crawl"
+        assert dataset_io.dataset_kind(crowd_path) == "crowd"
+
+    def test_load_dataset_dispatches(self, tiny_ctx, tmp_path: Path):
+        path = tmp_path / "crowd.jsonl"
+        dataset_io.save_crowd_dataset(tiny_ctx.crowd, path)
+        kind, loaded = dataset_io.load_dataset(path)
+        assert kind == "crowd"
+        assert loaded.summary() == tiny_ctx.crowd.summary()
+
+    def test_unknown_kind_rejected(self, tmp_path: Path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"format": "repro-reports", "version": 1, "kind": "odd"}\n')
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.dataset_kind(path)
+
+
+class TestCliAutoDetect:
+    def test_analyze_crowd_file(self, tmp_path: Path, capsys):
+        out_file = tmp_path / "crowd.jsonl"
+        code = cli.main(["campaign", "--scale", "tiny", "--out", str(out_file)])
+        assert code == 0
+        capsys.readouterr()
+        code = cli.main(["analyze", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loaded crowd dataset" in out
+        assert "checks with variation per domain" in out
+        assert "magnitude" in out
+
+    def test_analyze_crawl_file_output_unchanged(self, tmp_path: Path, capsys):
+        out_file = tmp_path / "crawl.jsonl"
+        code = cli.main(["crawl", "--scale", "tiny", "--out", str(out_file)])
+        assert code == 0
+        capsys.readouterr()
+        code = cli.main(["analyze", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "extent of variation" in out
+        assert "Finland profile" in out
