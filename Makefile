@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-analysis check examples
+.PHONY: test docs-check bench bench-analysis bench-campaign check examples
 
 # Tier-1: the full test suite.
 test:
@@ -27,6 +27,14 @@ bench:
 # reports); other entries in BENCH_pipeline.json are preserved.
 bench-analysis:
 	$(PYTHON) benchmarks/run_bench.py --only analysis_aggregation
+
+# Just the heavy-traffic campaign bench (100K checks, burst memo on/off,
+# subprocess-isolated peak RSS); other entries are preserved.  Tune with
+# e.g. `make bench-campaign CAMPAIGN_CHECKS=200000`.
+CAMPAIGN_CHECKS ?= 100000
+bench-campaign:
+	$(PYTHON) benchmarks/run_bench.py --only campaign_scaling \
+		--campaign-checks $(CAMPAIGN_CHECKS)
 
 # Run every example (docs/EXAMPLES.md shows expected output).
 examples:

@@ -50,14 +50,21 @@ def _reset_parse_cache() -> None:
 
 
 def bench_sheriff_check(rounds: int) -> dict[str, object]:
-    """One synchronized 14-vantage-point price check, end to end."""
+    """One synchronized 14-vantage-point price check, end to end.
+
+    Two numbers: the *live* fan-out (burst memo off -- the historical
+    trajectory metric, comparable to the seed baseline) and the same
+    check served as a burst-memo hit.
+    """
     from repro.analysis.personal import derive_anchor_for_domain
     from repro.core.backend import CheckRequest, SheriffBackend
     from repro.ecommerce.world import WorldConfig, build_world
 
     _reset_parse_cache()
     world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
-    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    backend = SheriffBackend(
+        world.network, world.vantage_points, world.rates, burst_memo=False
+    )
     domain = "www.digitalrev.com"
     anchor = derive_anchor_for_domain(world, domain)
     product = world.retailer(domain).catalog.products[0]
@@ -70,6 +77,14 @@ def bench_sheriff_check(rounds: int) -> dict[str, object]:
     result["cache_stats"] = backend.cache_stats()
     server = world.network.resolve(domain)
     result["render_cache"] = server.render_cache_stats()
+
+    backend.burst_cache.enabled = True
+    backend.check(request)  # the storing miss
+    memo_samples = _time_rounds(lambda: backend.check(request), rounds)
+    result["memo_hit"] = _summary(memo_samples)
+    result["memo_hit"]["speedup_vs_live"] = round(
+        statistics.fmean(samples) / statistics.fmean(memo_samples), 2
+    )
     return result
 
 
@@ -332,6 +347,189 @@ def bench_analysis_aggregation(
     }
 
 
+def _campaign_scaling_worker(
+    memo: bool, n_checks: int, days: int, pure_only: bool, queue
+) -> None:
+    """One campaign run in a fresh process (clean peak-RSS accounting).
+
+    Simulates heavy crowd traffic through the backend: ``n_checks``
+    popularity-weighted product checks spread over a ``days``-day window,
+    submitted as one scheduled batch per day and streamed through the
+    ``sink=`` seam -- no report list exists at any point.  Sends back
+    throughput, the process's peak RSS, and a streamed digest of every
+    16th report (plus full-run counters) for cross-mode byte comparison.
+    """
+    import hashlib
+    import resource
+
+    from repro.analysis.personal import derive_anchor_for_domain
+    from repro.core.backend import CheckRequest, SheriffBackend
+    from repro.core.store import PageStore
+    from repro.ecommerce.world import NAMED_RETAILER_SPECS, WorldConfig, build_world
+    from repro.io import report_to_dict
+    from repro.net.clock import SECONDS_PER_DAY
+    from repro.util import stable_rng
+
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(
+        world.network, world.vantage_points, world.rates,
+        burst_memo=memo,
+        store=PageStore(metadata_cap=4096),  # rolling archive window
+    )
+    weights_by_domain = {
+        spec.domain: spec.crowd_weight for spec in NAMED_RETAILER_SPECS
+    }
+    domains = []
+    for domain in world.crawled_domains:
+        server = world.servers[domain]
+        if pure_only and server.signature_profile() is None:
+            continue
+        domains.append(domain)
+    anchors = {d: derive_anchor_for_domain(world, d) for d in domains}
+    products = [
+        (domain, product.path)
+        for domain in domains
+        for product in world.retailer(domain).catalog.products
+    ]
+    product_weights = [weights_by_domain[domain] for domain, _ in products]
+
+    rng = stable_rng(2013, "campaign-scaling", n_checks, pure_only)
+    start_day = 200
+    per_day = [n_checks // days + (1 if d < n_checks % days else 0)
+               for d in range(days)]
+
+    digest = hashlib.sha256()
+    seen = 0
+    valid_total = 0
+
+    def sink(report) -> None:
+        nonlocal seen, valid_total
+        valid_total += len(report.valid_observations())
+        if seen % 16 == 0:
+            digest.update(
+                json.dumps(report_to_dict(report), sort_keys=True).encode()
+            )
+        seen += 1
+
+    start = time.perf_counter()
+    for day_offset, day_checks in enumerate(per_day):
+        day_start = (start_day + day_offset) * SECONDS_PER_DAY
+        if day_start > world.clock.now:
+            world.clock.advance_to(day_start)
+        picks = rng.choices(products, weights=product_weights, k=day_checks)
+        times = sorted(
+            day_start + rng.uniform(0, SECONDS_PER_DAY) for _ in picks
+        )
+        requests = [
+            CheckRequest(url=f"http://{domain}{path}", anchor=anchors[domain])
+            for domain, path in picks
+        ]
+        backend.check_batch(requests, start_times=times, sink=sink)
+    elapsed = time.perf_counter() - start
+
+    stats = backend.cache_stats()
+    queue.put({
+        "checks": seen,
+        "elapsed_s": round(elapsed, 3),
+        "checks_per_second": round(seen / elapsed, 2),
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        ),
+        "digest": digest.hexdigest(),
+        "valid_observations": valid_total,
+        "burst_hits": stats["burst_hits"],
+        "burst_misses": stats["burst_misses"],
+        "burst_bypass_live_only": stats["burst_bypass_live_only"],
+    })
+
+
+def _campaign_scaling_run(
+    memo: bool, n_checks: int, days: int, pure_only: bool
+) -> dict[str, object]:
+    """Run one campaign config in a spawned subprocess and collect results.
+
+    Spawn (not fork) so each config's peak RSS is its own, not inherited
+    from the coordinator's high-water mark.
+    """
+    import multiprocessing
+
+    import queue as queue_module
+
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    proc = ctx.Process(
+        target=_campaign_scaling_worker,
+        args=(memo, n_checks, days, pure_only, queue),
+    )
+    proc.start()
+    # Join first: a worker that dies (exception, OOM kill) before putting
+    # its result must surface as an error, not an indefinite queue.get()
+    # hang.  The result dict is tiny, so the put cannot block the child.
+    proc.join()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"campaign worker exited with {proc.exitcode}")
+    try:
+        return queue.get(timeout=30)
+    except queue_module.Empty:
+        raise RuntimeError(
+            "campaign worker exited cleanly without reporting a result"
+        ) from None
+
+
+def bench_campaign_scaling(
+    rounds: int, *, n_checks: int = 100_000, days: int = 7
+) -> dict[str, object]:
+    """Heavy-traffic campaign throughput: burst memo on vs off.
+
+    The headline pair runs ``n_checks`` over the signature-pure crawled
+    retailers (the workload the memo accelerates; stateful retailers
+    bypass it by design and are measured in the ``mixed`` pair at a
+    reduced scale).  A further memo-on run at 2x the checks demonstrates
+    that peak memory stays flat as the campaign grows -- reports stream
+    through the sink, nothing accumulates per check.  Digests assert the
+    memo-on and memo-off outputs are byte-identical.  ``rounds`` is
+    ignored: every config is a single subprocess-isolated run.
+    """
+    del rounds  # single-shot by design; see docstring
+    off = _campaign_scaling_run(False, n_checks, days, True)
+    on = _campaign_scaling_run(True, n_checks, days, True)
+    if off["digest"] != on["digest"] or off["valid_observations"] != on["valid_observations"]:
+        raise RuntimeError("memo-on campaign diverged from memo-off bytes")
+    on_2x = _campaign_scaling_run(True, 2 * n_checks, days, True)
+    mixed_n = max(n_checks // 5, 1000)
+    mixed_off = _campaign_scaling_run(False, mixed_n, days, False)
+    mixed_on = _campaign_scaling_run(True, mixed_n, days, False)
+    if mixed_off["digest"] != mixed_on["digest"]:
+        raise RuntimeError("memo-on mixed campaign diverged from memo-off bytes")
+    return {
+        "n_checks": n_checks,
+        "days": days,
+        "memo_off": off,
+        "memo_on": on,
+        "memo_on_2x": on_2x,
+        "speedup": round(
+            on["checks_per_second"] / off["checks_per_second"], 2
+        ),
+        "byte_identical": True,
+        "rss_growth_2x_checks": round(
+            on_2x["peak_rss_mb"] / on["peak_rss_mb"], 2
+        ),
+        # All 21 crawled retailers, popularity-weighted: amazon (login) and
+        # hotels.com (A/B nonce) alone carry ~60% of this traffic and stay
+        # on the live path by design -- the honest blended number.
+        "mixed_fleet": {
+            "n_checks": mixed_n,
+            "memo_off": mixed_off,
+            "memo_on": mixed_on,
+            "speedup": round(
+                mixed_on["checks_per_second"] / mixed_off["checks_per_second"],
+                2,
+            ),
+            "byte_identical": True,
+        },
+    }
+
+
 #: name -> (runner, which rounds argument it takes).
 BENCHES: dict[str, tuple] = {
     "sheriff_check": (bench_sheriff_check, "rounds"),
@@ -340,7 +538,41 @@ BENCHES: dict[str, tuple] = {
     "crawl_day_scaling": (bench_crawl_day_scaling, "heavy"),
     "crowd_checks": (bench_crowd_checks, "heavy"),
     "analysis_aggregation": (bench_analysis_aggregation, "heavy"),
+    "campaign_scaling": (bench_campaign_scaling, "heavy"),
 }
+
+
+def _bench_kwargs(name: str, args) -> dict:
+    """Per-bench keyword overrides sourced from the command line."""
+    if name == "campaign_scaling":
+        return {"n_checks": args.campaign_checks}
+    return {}
+
+
+def _profile_bench(name: str, args) -> int:
+    """Run one bench under cProfile and print the top-20 cumulative rows.
+
+    Future perf PRs should start here: the hot functions are measured,
+    not guessed.  The profiled run's results are discarded (profiling
+    skews timings), so the output file is left untouched.
+    """
+    import cProfile
+    import pstats
+
+    from repro.htmlmodel.parser import reset_parse_cache
+
+    reset_parse_cache()
+    fn, kind = BENCHES[name]
+    rounds = args.rounds if kind == "rounds" else args.heavy_rounds
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(rounds, **_bench_kwargs(name, args))
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative")
+    print(f"\n== top 20 cumulative functions: {name} ==")
+    stats.print_stats(20)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -352,9 +584,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--only", action="append", choices=sorted(BENCHES),
                         help="run only this bench (repeatable); existing "
                              "entries in the output file are preserved")
+    parser.add_argument("--profile", choices=sorted(BENCHES), metavar="BENCH",
+                        help="run BENCH once under cProfile, print the "
+                             "top-20 cumulative functions, and exit "
+                             "without touching the output file")
+    parser.add_argument("--campaign-checks", type=int, default=100_000,
+                        help="headline check count for campaign_scaling "
+                             "(default 100000)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).with_name("BENCH_pipeline.json"))
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return _profile_bench(args.profile, args)
 
     from repro.htmlmodel.parser import reset_parse_cache
 
@@ -376,7 +618,8 @@ def main(argv: list[str] | None = None) -> int:
     selected = args.only or sorted(BENCHES)
     for name in selected:
         fn, kind = BENCHES[name]
-        report[name] = fn(args.rounds if kind == "rounds" else args.heavy_rounds)
+        rounds = args.rounds if kind == "rounds" else args.heavy_rounds
+        report[name] = fn(rounds, **_bench_kwargs(name, args))
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"\nwrote {args.out}", file=sys.stderr)

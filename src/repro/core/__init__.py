@@ -19,6 +19,7 @@ The pipeline, matching §3.1's six steps:
 """
 
 from repro.core.backend import CheckRequest, ScheduledCheck, SheriffBackend
+from repro.core.burstcache import BurstCache, BurstCacheDivergence
 from repro.core.extension import PreparedCheck, SheriffExtension, UserClient
 from repro.core.extraction import ExtractedPrice, extract_price
 from repro.core.highlight import PriceAnchor, derive_anchor
@@ -27,6 +28,8 @@ from repro.core.store import ArchivedPage, PageStore
 
 __all__ = [
     "ArchivedPage",
+    "BurstCache",
+    "BurstCacheDivergence",
     "CheckRequest",
     "ExtractedPrice",
     "PageStore",

@@ -37,9 +37,11 @@ the reports back in plan order, byte-identical to the sequential loop.
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol, Sequence
 
+from repro.core.burstcache import BurstCache, BurstPlan
 from repro.core.extraction import extract_price, extract_price_from_document
 from repro.core.highlight import PriceAnchor
 from repro.core.reports import PriceCheckReport, VantageObservation
@@ -127,6 +129,8 @@ class SheriffBackend:
         rates: RateService,
         *,
         store: Optional[PageStore] = None,
+        burst_memo: bool = True,
+        burst_cache: Optional[BurstCache] = None,
     ) -> None:
         if not vantage_points:
             raise ValueError("backend needs at least one vantage point")
@@ -139,6 +143,16 @@ class SheriffBackend:
         # The guard depends only on (currencies seen, day); a day's burst of
         # checks over the same retailers recomputes it constantly otherwise.
         self._guard_cache: dict[tuple[int, frozenset[str]], float] = {}
+        # Burst memo (repro.core.burstcache): whole-fan-out memoization for
+        # signature-pure retailers.  Always constructed so executors can
+        # toggle ``enabled`` per task; pass an instance to configure
+        # validation sampling or LRU size.
+        self.burst_cache = (
+            burst_cache
+            if burst_cache is not None
+            else BurstCache(enabled=burst_memo)
+        )
+        self._structured_fetch_hits = 0
 
     # ------------------------------------------------------------------
     def check(
@@ -251,27 +265,98 @@ class SheriffBackend:
         """
         url = URL.parse(sched.request.url)
         day_index = int(sched.start_ts // SECONDS_PER_DAY)
+        cache = self.burst_cache
+        plan: Optional[BurstPlan] = None
+        if cache.enabled:
+            plan = cache.plan(self, sched, url, fleet)
+            if plan is not None and plan.entry is not None and not plan.validate:
+                return self._cached_burst_report(
+                    sched, url, day_index, fleet, plan, archive
+                )
+        # Live fan-out.  A memo-candidate burst additionally records the
+        # pricing signals the policy actually reads and captures what was
+        # archived, so the cache can verify and store the outcome.
+        live_archive = archive
+        captured: list[dict] = []
+        if plan is not None:
+
+            def live_archive(**kwargs):
+                captured.append(kwargs)
+                return archive(**kwargs)
+
+        recording = (
+            plan.server.record_signal_reads()
+            if plan is not None
+            else nullcontext(set())
+        )
         world_clock = self.network.clock
         self.network.clock = VirtualClock(sched.start_ts)
         try:
-            observations: list[VantageObservation] = []
-            currencies_seen: set[str] = set()
-            for vantage in fleet:
-                observations.append(
-                    self._observe(vantage, url, sched.request.anchor,
-                                  sched.check_id, day_index, currencies_seen,
-                                  archive)
-                )
+            with recording as reads:
+                observations: list[VantageObservation] = []
+                currencies_seen: set[str] = set()
+                for vantage in fleet:
+                    observations.append(
+                        self._observe(vantage, url, sched.request.anchor,
+                                      sched.check_id, day_index,
+                                      currencies_seen, live_archive)
+                    )
         finally:
             self.network.clock = world_clock
         guard = self._guard_threshold(currencies_seen, day_index)
-        return PriceCheckReport(
+        report = PriceCheckReport(
             check_id=sched.check_id,
             url=str(url),
             domain=url.host,
             day_index=day_index,
             timestamp=sched.start_ts,
             observations=observations,
+            guard_threshold=guard,
+            origin=sched.request.origin,
+        )
+        if plan is not None:
+            cache.after_live(plan, fleet, report, captured, reads)
+        return report
+
+    def _cached_burst_report(
+        self,
+        sched: ScheduledCheck,
+        url: URL,
+        day_index: int,
+        fleet: Sequence[VantagePoint],
+        plan: BurstPlan,
+        archive: ArchiveSink,
+    ) -> PriceCheckReport:
+        """Serve a memo hit: replayed archives + shared observations.
+
+        Byte-identical to the live fan-out by construction: the archive
+        timestamps come from the replayed delivery timeline, the page
+        bodies and observations from an entry proven to be a pure
+        function of the cache key.  No request is built and no server or
+        session state is touched.
+        """
+        entry = plan.entry
+        assert entry is not None
+        url_text = str(url)
+        for vantage, (_, archive_ts), html in zip(
+            fleet, plan.timeline, entry.htmls
+        ):
+            archive(
+                check_id=sched.check_id,
+                url=url_text,
+                domain=url.host,
+                vantage=vantage.name,
+                timestamp=archive_ts,
+                html=html,
+            )
+        guard = self._guard_threshold(set(entry.currencies), day_index)
+        return PriceCheckReport(
+            check_id=sched.check_id,
+            url=url_text,
+            domain=url.host,
+            day_index=day_index,
+            timestamp=sched.start_ts,
+            observations=list(entry.observations),
             guard_threshold=guard,
             origin=sched.request.origin,
         )
@@ -289,12 +374,23 @@ class SheriffBackend:
         """Hit/miss statistics of the caches behind the fan-out hot path.
 
         The ``parse_cache_*`` counters are *process-global* (the parse
-        cache is shared by every backend in the process); the guard and
-        store counters are this instance's own.
+        cache is shared by every backend in the process) and count
+        **string pages only** -- crowd uploads and store replays that
+        arrive without an attached DOM.  Simulated retailers deliver
+        their rendered tree over the structured-fetch channel, which
+        bypasses the parser entirely; ``structured_fetch_hits`` counts
+        those, so a 0.0 parse-cache hit rate next to a large
+        ``structured_fetch_hits`` means the parser had nothing to do, not
+        that a cache failed.  The guard, store, and ``burst_*`` counters
+        are this instance's own.
         """
         stats = {f"parse_cache_{k}": v for k, v in parse_cache_stats().items()}
+        stats["structured_fetch_hits"] = self._structured_fetch_hits
         stats["guard_cache_entries"] = len(self._guard_cache)
         stats.update(self.store.dedup_stats())
+        stats.update(
+            {f"burst_{k}": v for k, v in self.burst_cache.stats().items()}
+        )
         return stats
 
     # ------------------------------------------------------------------
@@ -355,6 +451,7 @@ class SheriffBackend:
             # Structured-fetch fast path: the retailer rendered this tree;
             # the serialized body was archived above, but there is nothing
             # to learn from re-parsing it.
+            self._structured_fetch_hits += 1
             extracted = extract_price_from_document(
                 response.document, anchor, locale_hint=locale
             )

@@ -15,6 +15,7 @@ text of what was fetched.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -40,11 +41,34 @@ class ArchivedPage:
 class PageStore:
     """In-memory page database with per-domain HTML retention caps."""
 
-    def __init__(self, *, html_per_domain: int = 30) -> None:
+    def __init__(
+        self,
+        *,
+        html_per_domain: int = 30,
+        metadata_cap: Optional[int] = None,
+    ) -> None:
+        """``metadata_cap`` bounds the per-fetch metadata list.
+
+        ``None`` (the default) keeps every :class:`ArchivedPage` forever
+        -- the analysis-friendly behaviour.  A campaign-scale run (100K+
+        checks, millions of fetches) sets a cap and the store becomes a
+        rolling window over the most recent archives: memory stays flat
+        no matter how long the campaign runs, at the documented cost that
+        ``__iter__``/``pages_for_domain`` only see the window.  A page
+        rolling off the window returns its domain's HTML retention budget
+        (and its body's interning slot), so the window always carries up
+        to ``html_per_domain`` recent bodies per domain rather than only
+        the campaign's very first ones.
+        """
         if html_per_domain < 0:
             raise ValueError("html_per_domain must be >= 0")
+        if metadata_cap is not None and metadata_cap < 1:
+            raise ValueError("metadata_cap must be >= 1 (or None)")
         self.html_per_domain = html_per_domain
-        self._pages: list[ArchivedPage] = []
+        self.metadata_cap = metadata_cap
+        self._pages: "deque[ArchivedPage] | list[ArchivedPage]" = (
+            deque() if metadata_cap is not None else []
+        )
         self._html_counts: dict[str, int] = {}
         # Content interning pool: maps an HTML string to its first-seen
         # instance, so equal bodies are stored once (str is immutable).
@@ -69,6 +93,14 @@ class PageStore:
         holding a redundant copy (paper-scale crawls archive ~200K pages,
         most of them byte-identical across vantage points).
         """
+        if self.metadata_cap is not None:
+            while len(self._pages) >= self.metadata_cap:
+                evicted = self._pages.popleft()  # type: ignore[union-attr]
+                if evicted.retained:
+                    self._html_counts[evicted.domain] -= 1
+                    # Future identical bodies re-intern; pages still in
+                    # the window keep the shared string alive meanwhile.
+                    self._interned.pop(evicted.html, None)
         count = self._html_counts.get(domain, 0)
         keep = count < self.html_per_domain
         if keep:

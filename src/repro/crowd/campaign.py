@@ -149,33 +149,56 @@ def run_campaign(
 
     # Phase two: one scheduled batch of every click that reached the
     # backend, fanned out at each click's own instant (and optionally
-    # sharded across workers -- bytes are identical either way).
+    # sharded across workers -- bytes are identical either way).  Reports
+    # stream straight into the dataset's columnar spine: the sink attaches
+    # each report to its click and flushes every click whose fate is
+    # settled into the table, releasing the click (and with it the report
+    # dataclass -- the table does not retain it) immediately.  No
+    # intermediate report list exists at any scale.
     ready = [click[4] for click in clicks if click[4].request is not None]
+    dataset = CrowdDataset()
+    cursor = 0  # next click to flush into the dataset
+    filled = 0  # ready checks whose report has streamed in
+
+    def flush_settled() -> None:
+        nonlocal cursor
+        while cursor < len(clicks):
+            user, domain, day_index, url, prepared = clicks[cursor]
+            if prepared.request is not None and prepared.outcome.report is None:
+                break  # its report has not streamed in yet
+            dataset.add(
+                CheckRecord(
+                    user_id=user.user_id,
+                    user_country=user.country_code,
+                    day_index=day_index,
+                    domain=domain,
+                    url=url,
+                    outcome=prepared.outcome,
+                )
+            )
+            clicks[cursor] = None  # type: ignore[call-overload]
+            cursor += 1
+
+    def sink(report) -> None:
+        nonlocal filled
+        prepared = ready[filled]
+        ready[filled] = None  # type: ignore[call-overload]
+        filled += 1
+        prepared.outcome.report = report
+        flush_settled()
+
     executor = exec_config.create(world) if exec_config is not None else None
     try:
-        reports = backend.check_batch(
+        backend.check_batch(
             [prepared.request for prepared in ready],
             start_times=[prepared.start_ts for prepared in ready],
             executor=executor,
+            sink=sink,
         )
     finally:
         if executor is not None:
             executor.close()
-    for prepared, report in zip(ready, reports):
-        prepared.outcome.report = report
-
-    dataset = CrowdDataset()
-    for user, domain, day_index, url, prepared in clicks:
-        dataset.add(
-            CheckRecord(
-                user_id=user.user_id,
-                user_country=user.country_code,
-                day_index=day_index,
-                domain=domain,
-                url=url,
-                outcome=prepared.outcome,
-            )
-        )
+    flush_settled()  # trailing clicks that never reached the backend
     return dataset
 
 

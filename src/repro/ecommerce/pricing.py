@@ -39,11 +39,25 @@ over time (§2.2)
 
 All draws are keyed by :func:`repro.util.stable_hash`, so the same world
 seed reproduces the same prices in any process.
+
+Signal declarations (the burst-memo contract): every policy declares, via
+:meth:`signals`, exactly which :class:`PricingContext` fields its price
+depends on.  The declaration powers the fan-out burst memo
+(:mod:`repro.core.burstcache`): a retailer whose policy only reads
+*capturable* signals -- the per-vantage-stable fields in
+:data:`CAPTURABLE_SIGNALS` -- serves responses that are a pure function of
+a small signature, so a whole synchronized burst can be memoized.
+Declarations are verified, not trusted: the live path records actual
+reads through a :class:`SignalProbe`, and a policy caught reading an
+undeclared signal demotes its retailer to the live path.  Policies
+without a ``signals`` method are introspected the same way
+(:func:`signals_read` returns ``None`` and the memo layer records reads
+against the capturable ceiling before caching anything).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Mapping, Optional, Protocol, Sequence
 
 from repro.ecommerce.catalog import Product
@@ -64,6 +78,9 @@ __all__ = [
     "ABTestNoise",
     "TemporalDrift",
     "coverage_includes",
+    "CAPTURABLE_SIGNALS",
+    "SignalProbe",
+    "signals_read",
 ]
 
 
@@ -92,11 +109,85 @@ class PricingContext:
 
 
 class PricingPolicy(Protocol):
-    """The server-side pricing interface."""
+    """The server-side pricing interface.
+
+    Policies may additionally implement ``signals() -> frozenset[str]``
+    declaring which :class:`PricingContext` fields :meth:`price` reads
+    (see the module docstring); every built-in policy does.  Policies
+    without the method still work -- the burst memo introspects their
+    reads at runtime instead.
+    """
 
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price of ``product`` for the requester in ``ctx``."""
         ...  # pragma: no cover
+
+
+#: All signal names a policy can declare: the :class:`PricingContext`
+#: field set.
+PRICING_SIGNALS: frozenset[str] = frozenset(
+    f.name for f in fields(PricingContext)
+)
+
+#: Signals that are a pure function of (vantage point, virtual day) and can
+#: therefore be captured in a fan-out burst signature: the requester's
+#: geo-located country and city, the request day, and the browser profile.
+#: Everything else (identity, login state, nonce, referer, sub-day time)
+#: depends on per-request or mutable session state the signature cannot
+#: see, so a policy reading it keeps its retailer on the live path.
+CAPTURABLE_SIGNALS: frozenset[str] = frozenset(
+    {"country_code", "city", "day_index", "browser"}
+)
+
+
+class SignalProbe:
+    """A :class:`PricingContext` stand-in that records attribute reads.
+
+    Duck-typed: it forwards every attribute to the wrapped context while
+    adding each :class:`PricingContext` *field* read to ``reads``.  The
+    live fan-out path prices through a probe so the burst memo can verify
+    a policy's declared signals against what it actually read -- detected,
+    not assumed.
+    """
+
+    __slots__ = ("_ctx", "_reads")
+
+    def __init__(self, ctx: PricingContext, reads: set[str]) -> None:
+        object.__setattr__(self, "_ctx", ctx)
+        object.__setattr__(self, "_reads", reads)
+
+    def __getattr__(self, name: str):
+        if name in PRICING_SIGNALS:
+            object.__getattribute__(self, "_reads").add(name)
+        return getattr(object.__getattribute__(self, "_ctx"), name)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("SignalProbe is read-only")
+
+
+def signals_read(policy: PricingPolicy) -> Optional[frozenset[str]]:
+    """The signals ``policy`` declares to read, or ``None`` if undeclared.
+
+    ``None`` means the policy carries no ``signals()`` declaration; the
+    burst memo then falls back to runtime introspection (recording actual
+    reads through a :class:`SignalProbe` before caching anything).
+    """
+    declare = getattr(policy, "signals", None)
+    if declare is None:
+        return None
+    raw = declare()
+    if raw is None:
+        # A composite policy (dispatch/wrapper) whose inner policy is
+        # itself undeclared propagates the unknown-ness.
+        return None
+    declared = frozenset(raw)
+    unknown = declared - PRICING_SIGNALS
+    if unknown:
+        raise ValueError(
+            f"{type(policy).__name__}.signals() declared unknown signals "
+            f"{sorted(unknown)}; valid names are PricingContext fields"
+        )
+    return declared
 
 
 def coverage_includes(product: Product, coverage: float, seed: int) -> bool:
@@ -122,6 +213,10 @@ class UniformPricing:
 
     margin: float = 1.0
 
+    def signals(self) -> frozenset[str]:
+        """Context signals the price depends on (none: honest pricing)."""
+        return frozenset()
+
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
         return product.base_price_usd * self.margin
@@ -140,6 +235,10 @@ class GeoMultiplicative:
     default: float = 1.0
     coverage: float = 1.0
     seed: int = 0
+
+    def signals(self) -> frozenset[str]:
+        """Context signals the price depends on (the requester's country)."""
+        return frozenset({"country_code"})
 
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
@@ -175,6 +274,10 @@ class DampedGeoMultiplicative:
             raise ValueError("need 0 < knee < ceiling")
         if not 0.0 <= self.floor_fraction <= 1.0:
             raise ValueError("floor_fraction must be in [0, 1]")
+
+    def signals(self) -> frozenset[str]:
+        """Context signals the price depends on (the requester's country)."""
+        return frozenset({"country_code"})
 
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
@@ -220,6 +323,10 @@ class GeoAdditive:
             if not 0 <= low <= high:
                 raise ValueError("per_product_scale must satisfy 0 <= low <= high")
 
+    def signals(self) -> frozenset[str]:
+        """Context signals the price depends on (the requester's country)."""
+        return frozenset({"country_code"})
+
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
         if not coverage_includes(product, self.coverage, self.seed):
@@ -248,6 +355,10 @@ class GeoMultiplyAdd:
     coverage: float = 1.0
     seed: int = 0
 
+    def signals(self) -> frozenset[str]:
+        """Context signals the price depends on (the requester's country)."""
+        return frozenset({"country_code"})
+
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
         if not coverage_includes(product, self.coverage, self.seed):
@@ -274,6 +385,10 @@ class CityMultiplicative:
     noise_amplitude: float = 0.0
     coverage: float = 1.0
     seed: int = 0
+
+    def signals(self) -> frozenset[str]:
+        """Context signals the price depends on (the requester's city)."""
+        return frozenset({"city"})
 
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
@@ -304,6 +419,16 @@ class CategoryDispatch:
     routes: Mapping[str, PricingPolicy]
     default: PricingPolicy
 
+    def signals(self) -> Optional[frozenset[str]]:
+        """Union of every route's signals (``None`` if any is undeclared)."""
+        combined: set[str] = set()
+        for policy in (*self.routes.values(), self.default):
+            inner = signals_read(policy)
+            if inner is None:
+                return None
+            combined |= inner
+        return frozenset(combined)
+
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
         policy = self.routes.get(product.category, self.default)
@@ -326,6 +451,10 @@ class IdentityKeyed:
     def __post_init__(self) -> None:
         if not self.multipliers:
             raise ValueError("need at least one price point")
+
+    def signals(self) -> frozenset[str]:
+        """Context signals the price depends on (the requester identity)."""
+        return frozenset({"identity"})
 
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
@@ -355,6 +484,13 @@ class ReferrerDiscount:
         if not self.referer_substring:
             raise ValueError("referer_substring must be non-empty")
 
+    def signals(self) -> Optional[frozenset[str]]:
+        """The inner policy's signals plus the Referer header."""
+        inner = signals_read(self.inner)
+        if inner is None:
+            return None
+        return inner | {"referer"}
+
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
         base = self.inner.price(product, ctx)
@@ -382,6 +518,20 @@ class ABTestNoise:
         if not 0.0 <= self.fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
 
+    def signals(self) -> Optional[frozenset[str]]:
+        """Inner signals plus the per-request nonce (when noise is live).
+
+        A zero fraction or amplitude makes the wrapper transparent, and
+        the declaration says so exactly -- the burst memo can then still
+        memoize the retailer.
+        """
+        inner = signals_read(self.inner)
+        if inner is None:
+            return None
+        if self.fraction <= 0.0 or self.amplitude == 0.0:
+            return inner
+        return inner | {"nonce"}
+
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""
         base = self.inner.price(product, ctx)
@@ -406,6 +556,15 @@ class TemporalDrift:
     inner: PricingPolicy
     amplitude: float = 0.03
     seed: int = 0
+
+    def signals(self) -> Optional[frozenset[str]]:
+        """Inner signals plus the request day (when drift is live)."""
+        inner = signals_read(self.inner)
+        if inner is None:
+            return None
+        if self.amplitude <= 0:
+            return inner
+        return inner | {"day_index"}
 
     def price(self, product: Product, ctx: PricingContext) -> float:
         """The USD price this policy charges ``ctx`` for ``product``."""

@@ -23,13 +23,20 @@ sets an auth cookie), anything else 404.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional, Union
 
 from repro.ecommerce.catalog import Catalog, Product
 from repro.ecommerce.checkout import ShippingPolicy, vat_rate
 from repro.ecommerce.localization import Locale, locale_for_country
-from repro.ecommerce.pricing import PricingContext, PricingPolicy
+from repro.ecommerce.pricing import (
+    CAPTURABLE_SIGNALS,
+    PricingContext,
+    PricingPolicy,
+    SignalProbe,
+    signals_read,
+)
 from repro.ecommerce.templates import (
     PageTemplate,
     ProductView,
@@ -45,7 +52,7 @@ from repro.net.geoip import GeoIPDatabase, GeoLocation
 from repro.net.http import HttpRequest, HttpResponse, HttpStatus, SetCookie
 from repro.util import stable_hash, stable_rng
 
-__all__ = ["Retailer", "RetailerServer"]
+__all__ = ["Retailer", "RetailerServer", "PricingSignature", "SignalProfile"]
 
 _INDEX_LISTING_CAP = 250
 
@@ -81,6 +88,53 @@ class Retailer:
             raise ValueError(f"bad domain {self.domain!r}")
 
 
+@dataclass(frozen=True)
+class SignalProfile:
+    """How a server's responses may be keyed for the burst memo.
+
+    ``signals`` is the projection set a request signature captures;
+    ``declared`` is True when it came from the policy's own ``signals()``
+    declaration (verified at store time against ``signals`` itself) and
+    False when the policy is undeclared and the memo records reads against
+    the full :data:`~repro.ecommerce.pricing.CAPTURABLE_SIGNALS` ceiling.
+    """
+
+    signals: frozenset[str]
+    declared: bool
+
+    @property
+    def verify_signals(self) -> frozenset[str]:
+        """The set recorded reads must stay inside for an entry to cache.
+
+        ``day_index`` is always allowed: the signature keys on the
+        server-side request day unconditionally (structural seed and FX
+        display rates read it even when the policy does not).
+        """
+        if not self.declared:
+            return CAPTURABLE_SIGNALS
+        return self.signals | {"day_index"}
+
+
+@dataclass(frozen=True)
+class PricingSignature:
+    """The captured pricing/render inputs of one fan-out request.
+
+    Composed by :meth:`RetailerServer.pricing_signature`: ``day_index`` is
+    the server-side request day (structural seed, FX display rates, and
+    drift all key on it), ``values`` the (signal, value) pairs of the
+    profile's projection set.  Two requests with equal signatures -- same
+    URL, same day, same captured signals -- receive byte-identical
+    product pages from a signature-pure retailer.
+    """
+
+    day_index: int
+    values: tuple[tuple[str, Union[str, int]], ...]
+
+
+#: Sentinel distinguishing "not computed yet" from "not memoizable".
+_UNRESOLVED = object()
+
+
 class RetailerServer:
     """HTTP-facing wrapper that prices and renders per request."""
 
@@ -110,6 +164,11 @@ class RetailerServer:
         )
         self._render_hits = 0
         self._render_misses = 0
+        # Burst-memo support: lazily resolved signature profile and, while
+        # a live fan-out is being recorded, the set collecting which
+        # pricing signals the policy actually read.
+        self._signature_profile: object = _UNRESOLVED
+        self._signal_reads: Optional[set[str]] = None
 
     def render_cache_stats(self) -> dict[str, int]:
         """Render-memo counters (for performance reports)."""
@@ -118,6 +177,99 @@ class RetailerServer:
             "render_misses": self._render_misses,
             "render_entries": len(self._render_cache),
         }
+
+    # ------------------------------------------------------------------
+    # Burst-memo support (the signature contract, docs/PERFORMANCE.md)
+    # ------------------------------------------------------------------
+    def signature_profile(self) -> Optional[SignalProfile]:
+        """How this server's product pages may be memo-keyed, or ``None``.
+
+        ``None`` means the responses read state a burst signature cannot
+        capture, so every check against this retailer must run the live
+        fan-out:
+
+        * the policy declares a non-capturable signal (identity, nonce,
+          referer, sub-day seconds, login state), or
+        * the retailer supports login -- the *server itself* keys the
+          rendered page on the auth cookie, independent of the policy.
+
+        An undeclared policy gets the benefit of the doubt: the profile
+        projects the full capturable set and the memo verifies recorded
+        reads before caching anything (detected, not assumed).
+        """
+        cached = self._signature_profile
+        if cached is _UNRESOLVED:
+            if self.retailer.supports_login:
+                resolved: Optional[SignalProfile] = None
+            else:
+                declared = signals_read(self.retailer.policy)
+                if declared is None:
+                    resolved = SignalProfile(
+                        signals=CAPTURABLE_SIGNALS, declared=False
+                    )
+                elif declared <= CAPTURABLE_SIGNALS:
+                    resolved = SignalProfile(signals=declared, declared=True)
+                else:
+                    resolved = None
+            self._signature_profile = resolved
+            return resolved
+        return cached  # type: ignore[return-value]
+
+    def pricing_signature(
+        self, *, client_ip: str, user_agent: str, day_index: int
+    ) -> Optional[PricingSignature]:
+        """Compose the request signature a fan-out from ``client_ip`` gets.
+
+        Pure function of (client IP, browser, virtual day) and this
+        server's immutable configuration -- no session state, no counters
+        -- which is exactly what makes it a sound memo key component.
+        Returns ``None`` for servers without a signature profile.
+        """
+        profile = self.signature_profile()
+        if profile is None:
+            return None
+        location = self._lookup_location(client_ip)
+        values: list[tuple[str, Union[str, int]]] = []
+        for name in sorted(profile.signals):
+            if name == "country_code":
+                values.append((name, location.country_code))
+            elif name == "city":
+                values.append((name, location.city))
+            elif name == "day_index":
+                values.append((name, day_index))
+            elif name == "browser":
+                values.append((name, user_agent))
+        return PricingSignature(day_index=day_index, values=tuple(values))
+
+    @contextmanager
+    def record_signal_reads(self) -> Iterator[set[str]]:
+        """Record which pricing signals requests read while active.
+
+        The live fan-out path wraps its burst in this context; every
+        ``policy.price`` call then goes through a
+        :class:`~repro.ecommerce.pricing.SignalProbe` and the yielded set
+        accumulates the fields actually read -- the evidence the burst
+        memo checks a declaration against before caching.
+        """
+        previous = self._signal_reads
+        reads: set[str] = set()
+        self._signal_reads = reads
+        try:
+            yield reads
+        finally:
+            self._signal_reads = previous
+
+    def _pricing_view(self, ctx: PricingContext) -> PricingContext:
+        """The context handed to the policy (probed while recording)."""
+        reads = self._signal_reads
+        if reads is None:
+            return ctx
+        if ctx.logged_in:
+            # The page itself (greeting banner) keys on the login cookie,
+            # not just the policy -- surface it as an identity read.
+            reads.add("identity")
+            reads.add("logged_in")
+        return SignalProbe(ctx, reads)  # type: ignore[return-value]
 
     @property
     def request_count(self) -> int:
@@ -155,7 +307,10 @@ class RetailerServer:
     # Localization plumbing
     # ------------------------------------------------------------------
     def _client_location(self, request: HttpRequest) -> GeoLocation:
-        location = self._geoip.lookup(request.client_ip)
+        return self._lookup_location(request.client_ip)
+
+    def _lookup_location(self, client_ip: str) -> GeoLocation:
+        location = self._geoip.lookup(client_ip)
         if location is None:
             return GeoLocation(
                 self.retailer.home_country, self.retailer.home_country, ""
@@ -206,13 +361,14 @@ class RetailerServer:
         location = self._client_location(request)
         locale = self._display_locale(location)
         ctx = self._pricing_context(request, location)
+        pricing_ctx = self._pricing_view(ctx)
 
-        usd = self.retailer.policy.price(product, ctx)
+        usd = self.retailer.policy.price(product, pricing_ctx)
         amount = self._display_amount(usd, locale, ctx.day_index)
         decimals = 0 if locale.currency.code == "JPY" else 2
         price_text = locale.format_price(amount, decimals=decimals)
 
-        recommended = self._recommended(product, ctx, locale)
+        recommended = self._recommended(product, pricing_ctx, locale)
         structural_seed = stable_hash(
             self._seed, self.retailer.domain, product.sku, ctx.day_index
         )
@@ -304,7 +460,7 @@ class RetailerServer:
         locale = self._display_locale(location)
         ctx = self._pricing_context(request, location)
 
-        item_usd = self.retailer.policy.price(product, ctx)
+        item_usd = self.retailer.policy.price(product, self._pricing_view(ctx))
         shipping_usd = self.retailer.shipping.cost(
             location.country_code, self.retailer.home_country, item_usd
         )

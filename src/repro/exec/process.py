@@ -95,6 +95,15 @@ def _run_shard(payload: dict) -> tuple[list, list, dict]:
     domains: set[str] = set(payload["domains"])
     world, backend = _worker_world(spec)
     fleet = world.vantage_points
+    # Mirror the coordinator's burst-memo configuration.  Each worker
+    # grows its own cache (warmth affects speed, never bytes -- a hit is
+    # byte-identical to the live fan-out by construction), so only the
+    # knobs cross the process boundary, never entries.
+    memo = payload.get("burst_memo", {})
+    cache = backend.burst_cache
+    cache.enabled = memo.get("enabled", True)
+    cache.validate_fraction = memo.get("validate_fraction", 0.0)
+    cache.max_entries_per_domain = memo.get("max_entries_per_domain", 1024)
 
     # Restore the shard's session state; wipe whatever a previous task
     # left for these domains (tasks from other shards never touch them).
@@ -177,6 +186,12 @@ class ProcessExecutor:
                 "spec": self._spec,
                 "tasks": shard,
                 "domains": domains,
+                "burst_memo": {
+                    "enabled": backend.burst_cache.enabled,
+                    "validate_fraction": backend.burst_cache.validate_fraction,
+                    "max_entries_per_domain":
+                        backend.burst_cache.max_entries_per_domain,
+                },
                 "jar_snapshots": [
                     vantage.jar.snapshot(hosts=set(domains))
                     for vantage in fleet

@@ -200,7 +200,9 @@ class Network:
         response.elapsed = self.clock.now - started
         return response
 
-    def _deliver_draws(self, request: HttpRequest) -> tuple[float, float, float]:
+    def delivery_draws(
+        self, url: "URL | str", client_ip: str, send_ts: float
+    ) -> tuple[float, float, float]:
         """The delivery's three unit-interval draws (loss, two latencies).
 
         One digest keyed by the request identity at its send instant --
@@ -208,10 +210,16 @@ class Network:
         draws (the sharding determinism contract).  Retries re-key
         naturally: a failed attempt burns timeout time, so the next
         attempt sends at a later instant.
+
+        Public because the burst-memo layer (:mod:`repro.core.burstcache`)
+        replays a fan-out's exact delivery timeline from these draws
+        without touching any server; the draws are a pure function of
+        ``(seed, url, client_ip, send_ts)``, so prediction and delivery
+        can never disagree.
         """
         payload = (
-            f"{self._seed}\x1f{request.url}\x1f{request.client_ip}"
-            f"\x1f{self.clock.now!r}\x1fdeliver"
+            f"{self._seed}\x1f{url}\x1f{client_ip}"
+            f"\x1f{send_ts!r}\x1fdeliver"
         ).encode("utf-8")
         digest = hashlib.blake2b(payload, digest_size=24).digest()
         return (
@@ -221,7 +229,9 @@ class Network:
         )
 
     def _deliver(self, request: HttpRequest, *, record: bool) -> HttpResponse:
-        loss_draw, latency_out, latency_back = self._deliver_draws(request)
+        loss_draw, latency_out, latency_back = self.delivery_draws(
+            request.url, request.client_ip, self.clock.now
+        )
         if self.loss_rate and loss_draw < self.loss_rate:
             # A lost request still burns time (timeout) -- which also
             # re-keys any retry's draws to a fresh send instant.

@@ -189,12 +189,19 @@ class URL:
 
     # ------------------------------------------------------------------
     def __str__(self) -> str:
-        out = [self.origin, _percent_encode(self.path, keep="/")]
-        if self.query:
-            out.append("?" + encode_query(self.query))
-        if self.fragment:
-            out.append("#" + _percent_encode(self.fragment))
-        return "".join(out)
+        # Memoized per instance: parse-cached URLs are shared across the
+        # whole process, and the fan-out hot path serializes the same URL
+        # once per vantage per check (draw keys, memo keys, archives).
+        cached = self.__dict__.get("_text")
+        if cached is None:
+            out = [self.origin, _percent_encode(self.path, keep="/")]
+            if self.query:
+                out.append("?" + encode_query(self.query))
+            if self.fragment:
+                out.append("#" + _percent_encode(self.fragment))
+            cached = "".join(out)
+            object.__setattr__(self, "_text", cached)
+        return cached
 
 
 @lru_cache(maxsize=4096)

@@ -1,0 +1,111 @@
+"""RetailerServer cache machinery: render-memo LRU, counters, setters.
+
+The render memo is the layer *below* the burst memo: it dedupes identical
+renders inside one server.  These tests pin its bounds (the LRU never
+exceeds ``_RENDER_CACHE_MAX``), the stats invariants under eviction, and
+the session-state accessor guards the executors rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecommerce.retailer import _RENDER_CACHE_MAX
+from repro.ecommerce.world import WorldConfig, build_world
+
+
+def _server_and_world():
+    world = build_world(WorldConfig(catalog_scale=1.0, long_tail_domains=0))
+    return world, world.servers["www.digitalrev.com"]
+
+
+def _product_request(world, domain, product, *, vantage=0, timestamp=0.0):
+    point = world.vantage_points[vantage]
+    return point.build_request(
+        f"http://{domain}{product.path}", now=timestamp
+    )
+
+
+class TestRenderCacheLRU:
+    def test_eviction_keeps_cache_at_cap(self):
+        """Render more distinct (sku, locale, day) combinations than the
+        cap: entries must never exceed ``_RENDER_CACHE_MAX``."""
+        world, server = _server_and_world()
+        domain = server.retailer.domain
+        products = server.retailer.catalog.products
+        combos = 0
+        day = 0
+        while combos <= _RENDER_CACHE_MAX + 40:
+            for vantage_index in range(0, 14, 2):  # distinct locales
+                product = products[combos % len(products)]
+                request = _product_request(
+                    world, domain, product,
+                    vantage=vantage_index, timestamp=day * 86400.0,
+                )
+                response = server.handle(request)
+                assert response.ok
+                combos += 1
+            day += 1
+        stats = server.render_cache_stats()
+        assert stats["render_entries"] <= _RENDER_CACHE_MAX
+        assert stats["render_misses"] >= combos - stats["render_hits"]
+
+    def test_stats_consistent_under_eviction(self):
+        """hits + misses == product-page renders, even after eviction."""
+        world, server = _server_and_world()
+        domain = server.retailer.domain
+        products = server.retailer.catalog.products
+        renders = 0
+        for day in range(4):
+            for product in products:
+                request = _product_request(
+                    world, domain, product, timestamp=day * 86400.0
+                )
+                server.handle(request)
+                renders += 1
+        # Re-render today's pages: all hits while the entries survive.
+        for product in products[:10]:
+            request = _product_request(
+                world, domain, product, timestamp=3 * 86400.0
+            )
+            server.handle(request)
+            renders += 1
+        stats = server.render_cache_stats()
+        assert stats["render_hits"] + stats["render_misses"] == renders
+        assert stats["render_entries"] <= _RENDER_CACHE_MAX
+        assert stats["render_hits"] >= 10
+
+    def test_eviction_preserves_correct_bodies(self):
+        """An evicted-and-rerendered page is byte-identical to its first
+        render (the cache is transparent)."""
+        world, server = _server_and_world()
+        domain = server.retailer.domain
+        products = server.retailer.catalog.products
+        first_product = products[0]
+        request = _product_request(world, domain, first_product)
+        original = server.handle(request).body
+        # Flood the cache far past the cap to evict the first entry.
+        for day in range(6):
+            for product in products:
+                server.handle(_product_request(
+                    world, domain, product, timestamp=day * 86400.0
+                ))
+        again = server.handle(
+            _product_request(world, domain, first_product)
+        ).body
+        assert again == original
+
+
+class TestRequestCountAccessor:
+    def test_setter_rejects_negative(self):
+        _, server = _server_and_world()
+        with pytest.raises(ValueError, match="cannot be negative"):
+            server.request_count = -1
+
+    def test_setter_roundtrip(self):
+        world, server = _server_and_world()
+        server.request_count = 41
+        assert server.request_count == 41
+        product = server.retailer.catalog.products[0]
+        server.handle(_product_request(world, server.retailer.domain, product))
+        assert server.request_count == 42
