@@ -4,11 +4,35 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-analysis bench-campaign check examples
+.PHONY: test test-fast test-full coverage scenarios docs-check bench \
+	bench-analysis bench-campaign check examples
 
 # Tier-1: the full test suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fast tier: everything except the `slow`-marked matrix/sharding grids
+# (see pytest.ini + docs/TESTING.md).  CI runs this on push.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# Full tier: tier-1 under its tier name (CI's PR gate runs the same
+# suite through `coverage` below).
+test-full: test
+
+# Full tier under coverage with the recorded baseline floor (CI PR
+# gate).  Needs pytest-cov (CI installs it; it is not part of the
+# stdlib-only runtime).  Raise the floor when coverage rises; never
+# lower it to make a PR pass.
+COV_FAIL_UNDER ?= 75
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
+		--cov-fail-under=$(COV_FAIL_UNDER)
+
+# The adversarial scenario matrix: every scenario across the full
+# executor x burst-memo grid (same code the slow test tier runs).
+scenarios:
+	$(PYTHON) -m repro.scenarios --grid
 
 # The full gate in one command: tier-1 tests + docs freshness.
 check: test docs-check

@@ -14,11 +14,19 @@
 * :mod:`repro.analysis.personal` -- persona and login experiments
   (Fig. 10 and the §4.4 null result),
 * :mod:`repro.analysis.thirdparty` -- the §4.4 tracker census,
-* :mod:`repro.analysis.tables` -- dataset summary tables (§3.2).
+* :mod:`repro.analysis.tables` -- dataset summary tables (§3.2),
+* :mod:`repro.analysis.detection` -- detection precision/recall against
+  scenario ground truth (:mod:`repro.scenarios`).
 """
 
 from repro.analysis.attribution import AttributionVerdict, CheckoutProbe
 from repro.analysis.cleaning import CleanResult, clean_reports, dataset_guard
+from repro.analysis.detection import (
+    DetectionScore,
+    DomainTruth,
+    detect_discriminators,
+    score_detection,
+)
 from repro.analysis.extent import variation_extent
 from repro.analysis.locations import (
     finland_profile,
@@ -39,6 +47,9 @@ __all__ = [
     "clean_reports",
     "dataset_guard",
     "dataset_summary",
+    "detect_discriminators",
+    "DetectionScore",
+    "DomainTruth",
     "domain_ratio_stats",
     "domain_variation_counts",
     "finland_profile",

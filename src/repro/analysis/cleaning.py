@@ -121,9 +121,12 @@ def clean_reports(
     if not reports:
         return result
     result.guard = dataset_guard(rates, reports, margin=guard_margin)
-    repeatable: Optional[set[str]] = None
-    if require_repeatable:
-        repeatable = repeatable_products(reports, guard=result.guard)
+    # Validity first, repeatability second: a measurement round that
+    # fails the data-quality filters (too few observations, corrupted
+    # non-positive prices) is not evidence about whether a product's
+    # variation recurs -- an adversary serving garbage on alternate days
+    # must not be able to veto the clean days' verdict.
+    prefiltered: list[PriceCheckReport] = []
     for report in reports:
         valid = report.valid_observations()
         if len(valid) < min_points:
@@ -132,6 +135,11 @@ def clean_reports(
         if any(obs.amount is not None and obs.amount <= 0 for obs in valid):
             result.dropped["non-positive-price"] += 1
             continue
+        prefiltered.append(report)
+    repeatable: Optional[set[str]] = None
+    if require_repeatable:
+        repeatable = repeatable_products(prefiltered, guard=result.guard)
+    for report in prefiltered:
         report.guard_threshold = result.guard
         if repeatable is not None and report.has_variation and report.url not in repeatable:
             result.dropped["not-repeatable"] += 1
@@ -154,10 +162,9 @@ def _clean_kernel(
         result.kept = TableSlice(table, [])
         return result
     result.guard = dataset_guard(rates, sliced, margin=guard_margin)
-    repeatable_ids: Optional[set[int]] = None
-    if require_repeatable:
-        repeatable_ids = _repeatable_url_ids(sliced, guard=result.guard)
-    kept_rows: list[int] = []
+    # Mirror of the list path: repeatability is judged only over rounds
+    # that pass the validity filters, so corrupted rounds cannot veto
+    # clean ones (see clean_reports).
     guarded_rows: list[int] = []
     o_amount = table.o_amount
     for i in sliced.rows:
@@ -171,6 +178,13 @@ def _clean_kernel(
             result.dropped["non-positive-price"] += 1
             continue
         guarded_rows.append(i)
+    repeatable_ids: Optional[set[int]] = None
+    if require_repeatable:
+        repeatable_ids = _repeatable_url_ids(
+            TableSlice(table, guarded_rows), guard=result.guard
+        )
+    kept_rows: list[int] = []
+    for i in guarded_rows:
         if repeatable_ids is not None:
             ratio = table.ratio[i]
             if (

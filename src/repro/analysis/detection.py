@@ -1,0 +1,235 @@
+"""Detection quality: the pipeline's verdicts scored against ground truth.
+
+The paper's central claim is that crowd-assisted checks *detect* price
+discrimination in the wild -- so detection quality must be measurable,
+not asserted.  The scenario layer (:mod:`repro.scenarios`) builds worlds
+whose retailers carry machine-readable ground truth (who discriminates,
+and by at least how much); this module runs the paper's own analysis
+chain -- cleaning with the dataset-wide currency guard and the
+repeatability rule, then per-domain variation extent -- and scores the
+resulting verdicts as precision/recall against that truth.
+
+The detector is deliberately the *production* pipeline, not a bespoke
+classifier: a domain is flagged when, after cleaning, at least
+``min_extent`` of its checks show guarded variation.  Whatever fools the
+cleaning stage fools the detector -- which is exactly what the scenario
+matrix is there to measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.cleaning import CleanResult, clean_reports
+from repro.analysis.extent import variation_extent
+from repro.analysis.ratios import domain_ratio_stats
+from repro.core.reports import PriceCheckReport
+from repro.fx.rates import RateService
+
+__all__ = [
+    "DomainTruth",
+    "DetectionScore",
+    "detect_discriminators",
+    "score_detection",
+]
+
+
+@dataclass(frozen=True)
+class DomainTruth:
+    """Ground truth about one retailer in a scenario world.
+
+    ``discriminates`` is the label the detector is scored against;
+    ``min_ratio`` is a conservative lower bound on the true max/min USD
+    ratio a full vantage fan-out can observe on covered products (1.0
+    for honest retailers), letting the harness also check the *measured
+    magnitude* against truth -- detection that flags the right domain
+    with a wildly wrong magnitude still fails.  ``kind`` is a human
+    label ("geo", "session", "none", ...).
+    """
+
+    domain: str
+    discriminates: bool
+    min_ratio: float = 1.0
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if self.min_ratio < 1.0:
+            raise ValueError("min_ratio is a max/min ratio bound; must be >= 1")
+        if not self.discriminates and self.min_ratio > 1.0:
+            raise ValueError("an honest retailer cannot promise a ratio > 1")
+
+
+def detect_discriminators(
+    reports: Sequence[PriceCheckReport],
+    rates: RateService,
+    *,
+    min_extent: float = 0.5,
+    min_reports: int = 2,
+    require_repeatable: bool = True,
+    clean: Optional[CleanResult] = None,
+) -> dict[str, float]:
+    """domain -> variation extent, for domains the pipeline flags.
+
+    Runs the production chain: :func:`~repro.analysis.cleaning.
+    clean_reports` (dataset-wide currency guard; repeatability by
+    default, suppressing single-round flukes) then
+    :func:`~repro.analysis.extent.variation_extent`, keeping domains
+    whose extent reaches ``min_extent``.  Pass ``clean`` to reuse an
+    already-cleaned result.
+    """
+    if not 0.0 < min_extent <= 1.0:
+        raise ValueError("min_extent must be in (0, 1]")
+    if clean is None:
+        clean = clean_reports(
+            reports, rates, require_repeatable=require_repeatable
+        )
+    extent = variation_extent(clean.kept, min_reports=min_reports)
+    return {
+        domain: fraction
+        for domain, fraction in extent.items()
+        if fraction >= min_extent
+    }
+
+
+@dataclass
+class DetectionScore:
+    """Precision/recall of flagged domains against scenario ground truth.
+
+    ``detected`` maps every flagged domain to its variation extent;
+    ``magnitude`` maps flagged domains to the median max/min ratio of
+    their flagged checks.  Domains flagged without *any* truth entry
+    count as false positives -- a scenario's truth table must cover
+    everything it crawls.
+    """
+
+    detected: dict[str, float]
+    magnitude: dict[str, float]
+    truth: tuple[DomainTruth, ...]
+    guard: float
+
+    @property
+    def truth_by_domain(self) -> dict[str, DomainTruth]:
+        return {entry.domain: entry for entry in self.truth}
+
+    @property
+    def true_positives(self) -> list[str]:
+        truth = self.truth_by_domain
+        return sorted(
+            domain for domain in self.detected
+            if domain in truth and truth[domain].discriminates
+        )
+
+    @property
+    def false_positives(self) -> list[str]:
+        truth = self.truth_by_domain
+        return sorted(
+            domain for domain in self.detected
+            if domain not in truth or not truth[domain].discriminates
+        )
+
+    @property
+    def false_negatives(self) -> list[str]:
+        return sorted(
+            entry.domain for entry in self.truth
+            if entry.discriminates and entry.domain not in self.detected
+        )
+
+    @property
+    def precision(self) -> float:
+        """Flagged domains that truly discriminate (1.0 when none flagged)."""
+        if not self.detected:
+            return 1.0
+        return len(self.true_positives) / len(self.detected)
+
+    @property
+    def recall(self) -> float:
+        """True discriminators flagged (1.0 when the truth has none)."""
+        positives = sum(1 for entry in self.truth if entry.discriminates)
+        if not positives:
+            return 1.0
+        return len(self.true_positives) / positives
+
+    def magnitude_violations(self) -> dict[str, tuple[float, float]]:
+        """domain -> (measured median ratio, promised bound) shortfalls.
+
+        A true positive whose measured magnitude falls below the truth's
+        ``min_ratio`` bound means the pipeline found the right retailer
+        for the wrong reason (noise above the guard rather than the
+        planted discrimination).
+        """
+        truth = self.truth_by_domain
+        out: dict[str, tuple[float, float]] = {}
+        for domain in self.true_positives:
+            bound = truth[domain].min_ratio
+            measured = self.magnitude.get(domain, 1.0)
+            if measured < bound:
+                out[domain] = (measured, bound)
+        return out
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable verdict table (CLI / harness output)."""
+        truth = self.truth_by_domain
+        lines = []
+        for entry in sorted(self.truth, key=lambda t: t.domain):
+            flagged = entry.domain in self.detected
+            verdict = (
+                "true positive" if flagged and entry.discriminates else
+                "FALSE POSITIVE" if flagged else
+                "MISSED" if entry.discriminates else
+                "true negative"
+            )
+            measured = self.magnitude.get(entry.domain)
+            ratio = f" x{measured:.3f}" if measured is not None else ""
+            lines.append(
+                f"{entry.domain:34s} {entry.kind or '-':10s} {verdict}{ratio}"
+            )
+        for domain in self.false_positives:
+            if domain not in truth:
+                lines.append(f"{domain:34s} {'?':10s} FALSE POSITIVE (untracked)")
+        lines.append(
+            f"precision {self.precision:.2f}  recall {self.recall:.2f}  "
+            f"guard x{self.guard:.4f}"
+        )
+        return lines
+
+
+def score_detection(
+    reports: Sequence[PriceCheckReport],
+    rates: RateService,
+    truth: Sequence[DomainTruth] | Mapping[str, bool],
+    *,
+    min_extent: float = 0.5,
+    min_reports: int = 2,
+    require_repeatable: bool = True,
+    clean: Optional[CleanResult] = None,
+) -> DetectionScore:
+    """Run the detector over ``reports`` and score it against ``truth``.
+
+    ``truth`` is a sequence of :class:`DomainTruth` entries (or a plain
+    ``domain -> discriminates`` mapping, promoted with default bounds).
+    Pass ``clean`` to reuse an already-cleaned result instead of
+    cleaning ``reports`` again.
+    """
+    if isinstance(truth, Mapping):
+        truth = tuple(
+            DomainTruth(domain=domain, discriminates=flag)
+            for domain, flag in sorted(truth.items())
+        )
+    else:
+        truth = tuple(truth)
+    if clean is None:
+        clean = clean_reports(
+            reports, rates, require_repeatable=require_repeatable
+        )
+    detected = detect_discriminators(
+        reports, rates,
+        min_extent=min_extent, min_reports=min_reports, clean=clean,
+    )
+    stats = domain_ratio_stats(clean.kept, only_variation=True)
+    magnitude = {
+        domain: stats[domain].median for domain in detected if domain in stats
+    }
+    return DetectionScore(
+        detected=detected, magnitude=magnitude, truth=truth, guard=clean.guard
+    )

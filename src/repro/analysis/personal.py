@@ -23,9 +23,11 @@ from repro.core.extraction import extract_price
 from repro.core.highlight import PriceAnchor, derive_anchor
 from repro.ecommerce.localization import locale_for_country
 from repro.ecommerce.personas import AFFLUENT, BUDGET, Persona, login, train_persona
+from repro.ecommerce.templates import selector_on_day
 from repro.ecommerce.world import World
 from repro.htmlmodel.parser import parse_html
 from repro.htmlmodel.selectors import Selector
+from repro.net.clock import SECONDS_PER_DAY
 from repro.net.geoip import GeoLocation
 from repro.net.transport import TransportError
 from repro.net.useragent import profile_for
@@ -60,7 +62,10 @@ def derive_anchor_for_domain(world: World, domain: str) -> PriceAnchor:
     if not response.ok:
         raise RuntimeError(f"cannot fetch anchor page for {domain}")
     document = parse_html(response.body)
-    element = Selector.parse(retailer.template.price_selector).select_one(document)
+    selector = selector_on_day(
+        retailer.template, int(world.clock.now // SECONDS_PER_DAY)
+    )
+    element = Selector.parse(selector).select_one(document)
     if element is None:
         raise RuntimeError(f"cannot locate price on {domain}")
     return derive_anchor(document, element)

@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(p_crawl)
     add_exec(p_crawl)
     p_crawl.add_argument("--out", help="write the dataset to this JSONL file")
+    p_crawl.add_argument(
+        "--scenario", metavar="NAME",
+        help="crawl an adversarial scenario world instead of the paper "
+             "world, and score detection against its ground truth "
+             "(names: python -m repro.scenarios --help)",
+    )
 
     p_analyze = sub.add_parser(
         "analyze", help="analyze a saved dataset (crawl or crowd, auto-detected)"
@@ -128,6 +134,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
+    if args.scenario:
+        return _cmd_crawl_scenario(args)
     ctx = ExperimentContext(args.scale, seed=args.seed,
                             exec_config=_exec_config(args))
     dataset = ctx.crawl
@@ -136,6 +144,53 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         lines = dataset_io.save_crawl_dataset(dataset, args.out, seed=args.seed)
         print(f"wrote {lines} reports to {args.out}")
     return 0
+
+
+def _cmd_crawl_scenario(args: argparse.Namespace) -> int:
+    """Campaign + crawl one adversarial scenario world, score detection."""
+    from repro.scenarios import get_scenario
+    from repro.scenarios.harness import GridCell, check_invariants, run_cell
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.scale != "tiny":
+        print(
+            f"note: --scale {args.scale} is ignored with --scenario "
+            "(scenario worlds carry their own fixed size)",
+            file=sys.stderr,
+        )
+    cell = GridCell(mode=args.exec_mode, workers=args.workers)
+    result = run_cell(scenario, cell, seed=args.seed, keep_dataset=True)
+    print(
+        f"scenario {scenario.name} [{cell.label}]: "
+        f"{result.n_reports} crawl reports over "
+        f"{len(scenario.crawl_domains)} domains"
+    )
+    for line in result.score.summary_lines():
+        print(f"  {line}")
+    if cell.mode == "local":
+        stats = result.memo_stats
+        print(
+            f"  memo: {stats['hits']} hits / {stats['misses']} misses; "
+            f"live-only: {sorted(result.live_only) or 'none'}"
+        )
+    else:
+        # Process workers grow private burst caches; the coordinator's
+        # counters say nothing about what the workers served.
+        print("  memo: served inside worker processes (no coordinator telemetry)")
+    problems = check_invariants(scenario, [result])
+    for line in problems:
+        print(f"  INVARIANT VIOLATED: {line}")
+    if args.out:
+        assert result.crawl_dataset is not None
+        lines = dataset_io.save_crawl_dataset(
+            result.crawl_dataset, args.out, seed=args.seed
+        )
+        print(f"wrote {lines} reports to {args.out}")
+    return 1 if problems else 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:

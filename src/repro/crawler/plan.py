@@ -21,9 +21,11 @@ from typing import Optional, Sequence
 from repro.core.backend import SheriffBackend
 from repro.core.highlight import PriceAnchor, derive_anchor
 from repro.crowd.dataset import CrowdDataset
+from repro.ecommerce.templates import selector_on_day
 from repro.ecommerce.world import World
 from repro.htmlmodel.parser import parse_html
 from repro.htmlmodel.selectors import Selector
+from repro.net.clock import SECONDS_PER_DAY
 from repro.net.http import HttpResponse
 from repro.net.transport import TransportError
 from repro.net.urls import URL, urljoin
@@ -120,7 +122,24 @@ def build_plan(
         if domain not in world.retailers:
             raise PlanError(f"unknown domain {domain!r}")
         product_urls = _discover_products(world, domain, products_per_retailer, rng)
-        anchor = _derive_retailer_anchor(world, domain, product_urls[0])
+        anchor = None
+        failures: list[str] = []
+        # The operator needs *one* loadable product page to highlight;
+        # a shop whose first product happens to 404 (out of stock) just
+        # costs them another click.
+        for url in product_urls:
+            try:
+                anchor = _derive_retailer_anchor(world, domain, url)
+                break
+            except PlanError as exc:
+                failures.append(str(exc))
+        if anchor is None:
+            shown = "; ".join(failures[:3])
+            if len(failures) > 3:
+                shown += f" (+{len(failures) - 3} more)"
+            raise PlanError(
+                f"no product page on {domain} yielded an anchor: {shown}"
+            )
         targets.append(
             CrawlTarget(domain=domain, product_urls=tuple(product_urls), anchor=anchor)
         )
@@ -161,12 +180,20 @@ def _discover_products(
 
 
 def _derive_retailer_anchor(world: World, domain: str, product_url: str) -> PriceAnchor:
-    """The one-time manual highlight, per retailer."""
+    """The manual highlight, per retailer (re-done per day when churning).
+
+    The template's ``price_selector`` stands in for the operator's eyes.
+    Day-aware templates (the scenario layer's churning template swaps
+    families between days) expose ``selector_for_day``; the operator
+    reads the page actually rendered *today*, so the anchor matches the
+    day's structure.
+    """
+    day_index = int(world.clock.now // SECONDS_PER_DAY)
     response = _operator_fetch(world, product_url, what="anchor page")
     if not response.ok:
         raise PlanError(f"anchor page fetch failed for {domain}")
     document = parse_html(response.body)
-    selector = world.retailer(domain).template.price_selector
+    selector = selector_on_day(world.retailer(domain).template, day_index)
     element = Selector.parse(selector).select_one(document)
     if element is None:
         raise PlanError(f"operator could not locate the price on {domain}")

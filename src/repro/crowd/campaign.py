@@ -24,6 +24,7 @@ from repro.core.backend import SheriffBackend
 from repro.core.extension import PreparedCheck, SheriffExtension
 from repro.crowd.dataset import CheckRecord, CrowdDataset
 from repro.crowd.population import CrowdUser, build_population
+from repro.ecommerce.templates import selector_on_day
 from repro.ecommerce.world import World
 from repro.htmlmodel.dom import Document, Element
 from repro.htmlmodel.selectors import Selector, SelectorError
@@ -133,8 +134,10 @@ def run_campaign(
         retailer = world.retailer(domain)
         product = rng.choice(retailer.catalog.products)
         url = f"http://{domain}{product.path}"
+        # The user's eyes track the page actually served today (churning
+        # templates), exactly like the crawl operator's anchor step.
         finder = _make_finder(
-            retailer.template.price_selector,
+            selector_on_day(retailer.template, int(timestamp // SECONDS_PER_DAY)),
             wrong=rng.random() < config.p_wrong_highlight,
         )
         referer = (

@@ -288,6 +288,26 @@ class RetailerServer:
         self._request_count = value
 
     # ------------------------------------------------------------------
+    # Session-state SPI (the shard/merge seam, repro.exec)
+    # ------------------------------------------------------------------
+    def session_state(self) -> dict:
+        """This server's picklable per-shard session state.
+
+        Everything mutable that a request *response* may depend on must be
+        representable here: a shard worker restores the coordinator's
+        state before its batch and hands its own back afterwards, so the
+        pair of calls must round-trip every byte-relevant counter.  The
+        base server's only such state is the request counter (part of the
+        pricing nonce); stateful subclasses -- the scenario layer's
+        cloaking server tracks per-IP request rates -- extend the dict.
+        """
+        return {"request_count": self._request_count}
+
+    def restore_session_state(self, state: dict) -> None:
+        """Install session state captured by :meth:`session_state`."""
+        self.request_count = state["request_count"]
+
+    # ------------------------------------------------------------------
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Route one request."""
         self._request_count += 1
@@ -404,6 +424,7 @@ class RetailerServer:
                 trackers=self.retailer.trackers,
                 structural_seed=structural_seed,
                 logged_in_user=logged_in_user,
+                day_index=ctx.day_index,
             )
             # Render once; serialize for the wire (the archive stays
             # byte-faithful) and keep the tree so in-process consumers can

@@ -40,13 +40,21 @@ __all__ = [
     "BoutiqueTemplate",
     "TEMPLATE_FAMILIES",
     "template_for",
+    "selector_on_day",
     "render_index_page",
 ]
 
 
 @dataclass(frozen=True)
 class ProductView:
-    """Everything a template needs to render one product page."""
+    """Everything a template needs to render one product page.
+
+    ``day_index`` is the server-side request day.  Static template
+    families ignore it (their structure only varies through
+    ``structural_seed``, which already folds the day in); day-aware
+    templates -- the scenario layer's churning template that swaps
+    families between days -- dispatch on it.
+    """
 
     retailer_name: str
     domain: str
@@ -57,6 +65,7 @@ class ProductView:
     trackers: Sequence[ThirdParty] = ()
     structural_seed: int = 0
     logged_in_user: Optional[str] = None
+    day_index: int = 0
 
 
 class PageTemplate(Protocol):
@@ -297,6 +306,22 @@ def template_for(domain: str, *, seed: int = 0) -> PageTemplate:
     """Deterministically assign a template family to a retailer domain."""
     index = stable_hash(seed, domain, "template") % len(TEMPLATE_FAMILIES)
     return TEMPLATE_FAMILIES[index]
+
+
+def selector_on_day(template: PageTemplate, day_index: int) -> str:
+    """The ground-truth price selector ``template`` serves on a day.
+
+    Static families answer their ``price_selector``; day-aware templates
+    (the scenario layer's churning template swaps families between days)
+    expose ``selector_for_day`` and are dispatched through it.  Every
+    stand-in for human eyes -- the crawl operator's anchor step, a crowd
+    user's highlight -- goes through this one helper so it cannot pin a
+    churning retailer to its day-0 structure.
+    """
+    chooser = getattr(template, "selector_for_day", None)
+    if chooser is not None:
+        return chooser(day_index)
+    return template.price_selector
 
 
 # ----------------------------------------------------------------------

@@ -443,6 +443,16 @@ class WorldConfig:
     ``catalog_scale`` shrinks every catalog proportionally -- tests build
     small worlds fast; the paper-scale run uses 1.0.  ``long_tail_domains``
     is sized so named + long tail ≈ 600 domains, the §3.2 count.
+
+    ``scenario`` names a registered world mutation from
+    :mod:`repro.scenarios`: after the base world is assembled,
+    ``build_world`` applies the scenario's mutator (extra retailers,
+    adversarial pricing/server behaviours, crowd weights).  Because the
+    name travels inside the config -- and therefore inside
+    :class:`WorldSpec` -- a worker process regrowing the world from its
+    spec reproduces the mutated world bit-for-bit.
+    ``include_named_retailers`` lets a scenario start from an empty
+    retailer roster instead of the paper's 30 named shops.
     """
 
     seed: int = 2013
@@ -450,12 +460,16 @@ class WorldConfig:
     long_tail_domains: int = 570
     loss_rate: float = 0.0
     include_long_tail: bool = True
+    include_named_retailers: bool = True
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.catalog_scale <= 1.0:
             raise ValueError("catalog_scale must be in (0, 1]")
         if self.long_tail_domains < 0:
             raise ValueError("long_tail_domains must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
 
 
 @dataclass(frozen=True)
@@ -493,6 +507,9 @@ class World:
     servers: dict[str, RetailerServer]
     crawled_domains: list[str]
     long_tail: list[str] = field(default_factory=list)
+    #: Crowd-check weights for retailers outside the named-spec table --
+    #: scenario mutators fill this so campaigns exercise their shops.
+    extra_crowd_weights: dict[str, float] = field(default_factory=dict)
 
     @property
     def all_shop_domains(self) -> list[str]:
@@ -514,7 +531,28 @@ class World:
         }
         for domain in self.long_tail:
             weights[domain] = 0.6
+        weights.update(self.extra_crowd_weights)
         return weights
+
+    def register_retailer(
+        self, retailer: Retailer, *, server: Optional[RetailerServer] = None
+    ) -> RetailerServer:
+        """Wire a retailer (and optionally a custom server) into the world.
+
+        The scenario layer's entry point: the server defaults to a plain
+        :class:`RetailerServer` built against this world's geo-IP database
+        and FX rates; adversarial scenarios pass subclasses (cloaking,
+        stockouts, page corruption).  Re-registering a domain replaces it.
+        """
+        if server is None:
+            server = RetailerServer(
+                retailer, geoip=self.geoip, rates=self.rates,
+                seed=self.config.seed,
+            )
+        self.retailers[retailer.domain] = retailer
+        self.servers[retailer.domain] = server
+        self.network.register(retailer.domain, server)
+        return server
 
 
 _LONG_TAIL_WORDS_A = (
@@ -584,7 +622,8 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
         servers[retailer.domain] = server
         network.register(retailer.domain, server)
 
-    for spec in NAMED_RETAILER_SPECS:
+    named_specs = NAMED_RETAILER_SPECS if config.include_named_retailers else ()
+    for spec in named_specs:
         size = max(8, int(round(spec.catalog_size * config.catalog_scale)))
         catalog = generate_catalog(
             spec.domain, spec.category, size, seed=seed, path_style=spec.path_style
@@ -641,7 +680,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
                 domain, PersonaTrainingSite(domain, persona.interest_tag)
             )
 
-    return World(
+    world = World(
         config=config,
         clock=clock,
         network=network,
@@ -654,3 +693,12 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
         crawled_domains=crawled,
         long_tail=long_tail,
     )
+    if config.scenario is not None:
+        # Late import: the scenario registry depends on the ecommerce
+        # layer, not the other way round.  Applying the mutation *inside*
+        # build_world is what makes scenario worlds regrowable from a
+        # WorldSpec in executor worker processes.
+        from repro.scenarios import apply_scenario
+
+        apply_scenario(config.scenario, world)
+    return world

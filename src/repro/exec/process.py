@@ -11,7 +11,9 @@ it receives:
 * the shard's :class:`~repro.core.backend.ScheduledCheck` slice (URLs,
   anchors, pre-assigned check ids and start times), and
 * the shard's *session state*: each vantage point's cookies for the
-  shard's domains and each owned retailer server's request counter.
+  shard's domains and each owned retailer server's
+  :meth:`~repro.ecommerce.retailer.RetailerServer.session_state` dict
+  (request counter; stateful scenario servers add their own fields).
 
 Because every stochastic draw in the simulation is keyed by request
 identity rather than arrival order (see ``docs/ARCHITECTURE.md``), the
@@ -63,31 +65,35 @@ def _worker_world(spec: WorldSpec):
 
 
 def _install_session_state(
-    fleet, servers, domains, jar_snapshots, server_counts
+    fleet, servers, domains, jar_snapshots, server_states
 ) -> None:
     """Install a shard's session state: the one definition of "state".
 
     Used identically on both sides of the process boundary -- the worker
     restores the coordinator's pre-batch state, the coordinator folds the
-    worker's post-batch state back in.  Anything that becomes session
-    state later (a new stateful per-retailer field, say) must be added
-    here once, or worker and coordinator silently diverge.
+    worker's post-batch state back in.  Per-retailer state travels as the
+    server's own :meth:`~repro.ecommerce.retailer.RetailerServer.
+    session_state` dict, so a stateful server subclass (the scenario
+    layer's cloaking server tracks per-IP request rates) extends the SPI
+    once and both sides of the boundary pick it up -- anything stateful
+    that bypasses the SPI silently diverges between worker and
+    coordinator.
     """
     for vantage, snapshot in zip(fleet, jar_snapshots):
         for domain in domains:
             vantage.jar.clear(domain)
         vantage.jar.restore(snapshot)
-    for domain, count in server_counts.items():
+    for domain, state in server_states.items():
         server = servers.get(domain)
         if server is not None:
-            server.request_count = count
+            server.restore_session_state(state)
 
 
 def _run_shard(payload: dict) -> tuple[list, list, dict]:
     """Execute one shard in a worker process (module-level: picklable).
 
-    Returns ``(results, jar_snapshots, server_counts)`` where results are
-    ``(index, report, archive_calls)`` triples and the snapshots/counts
+    Returns ``(results, jar_snapshots, server_states)`` where results are
+    ``(index, report, archive_calls)`` triples and the snapshots/states
     are the shard's post-batch session state.
     """
     spec: WorldSpec = payload["spec"]
@@ -109,7 +115,7 @@ def _run_shard(payload: dict) -> tuple[list, list, dict]:
     # left for these domains (tasks from other shards never touch them).
     _install_session_state(
         fleet, world.servers, domains,
-        payload["jar_snapshots"], payload["server_counts"],
+        payload["jar_snapshots"], payload["server_states"],
     )
 
     results = []
@@ -121,11 +127,11 @@ def _run_shard(payload: dict) -> tuple[list, list, dict]:
         results.append((sched.index, report, archives))
 
     jar_snapshots = [vantage.jar.snapshot(hosts=domains) for vantage in fleet]
-    server_counts = {
-        domain: world.servers[domain].request_count
-        for domain in payload["server_counts"]
+    server_states = {
+        domain: world.servers[domain].session_state()
+        for domain in payload["server_states"]
     }
-    return results, jar_snapshots, server_counts
+    return results, jar_snapshots, server_states
 
 
 class ProcessExecutor:
@@ -196,8 +202,8 @@ class ProcessExecutor:
                     vantage.jar.snapshot(hosts=set(domains))
                     for vantage in fleet
                 ],
-                "server_counts": {
-                    domain: self._world.servers[domain].request_count
+                "server_states": {
+                    domain: self._world.servers[domain].session_state()
                     for domain in domains
                     if domain in self._world.servers
                 },
@@ -206,14 +212,14 @@ class ProcessExecutor:
 
         merged: dict[int, tuple["PriceCheckReport", list[dict]]] = {}
         for domains, future in submitted:
-            results, jar_snapshots, server_counts = future.result()
+            results, jar_snapshots, server_states = future.result()
             for index, report, archives in results:
                 merged[index] = (report, archives)
             # Fold the shard's post-batch session state back in, so the
             # coordinator's world is as-if it had run the shard itself.
             _install_session_state(
                 fleet, self._world.servers, domains,
-                jar_snapshots, server_counts,
+                jar_snapshots, server_states,
             )
         return merge_in_plan_order(backend, scheduled, merged, sink)
 

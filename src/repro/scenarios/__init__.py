@@ -1,0 +1,75 @@
+"""Adversarial scenario worlds and the invariant harness over them.
+
+The ROADMAP's third axis -- "handle as many scenarios as you can
+imagine" -- lives here.  The package has three layers:
+
+* :mod:`repro.scenarios.behaviors` -- composable adversarial retailer
+  behaviours (flash sales, template churn, stockouts, cloaking,
+  session-sticky pricing, currency redenomination, page corruption),
+* :mod:`repro.scenarios.engine` -- the :class:`Scenario` model and
+  registry: named, seeded world mutations carrying machine-readable
+  ground truth, applied inside
+  :func:`~repro.ecommerce.world.build_world` so worker processes regrow
+  them from a :class:`~repro.ecommerce.world.WorldSpec` bit-for-bit,
+* :mod:`repro.scenarios.harness` -- the differential grid runner that
+  executes campaign + crawl + analysis across scenario × executor ×
+  burst-memo cells and checks byte-identity, memo-soundness, cleaning,
+  and detection-quality invariants in one place.
+
+Importing this package registers the built-in scenarios
+(:data:`~repro.scenarios.definitions.DEFAULT_SCENARIOS`).
+"""
+
+from repro.scenarios.behaviors import (
+    ChurningTemplate,
+    CloakingServer,
+    CurrencySwitchServer,
+    FlashSale,
+    PageCorruptionServer,
+    SessionStickyPricing,
+    StockoutServer,
+)
+from repro.scenarios.engine import (
+    SCENARIOS,
+    Scenario,
+    apply_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_retailer,
+)
+from repro.scenarios.definitions import DEFAULT_SCENARIOS
+from repro.scenarios.harness import (
+    DEFAULT_GRID,
+    CellResult,
+    GridCell,
+    check_invariants,
+    run_cell,
+    run_matrix,
+    run_scenario_crawl,
+)
+
+__all__ = [
+    "CellResult",
+    "ChurningTemplate",
+    "CloakingServer",
+    "CurrencySwitchServer",
+    "DEFAULT_GRID",
+    "DEFAULT_SCENARIOS",
+    "FlashSale",
+    "GridCell",
+    "PageCorruptionServer",
+    "SCENARIOS",
+    "Scenario",
+    "SessionStickyPricing",
+    "StockoutServer",
+    "apply_scenario",
+    "check_invariants",
+    "get_scenario",
+    "register_scenario",
+    "run_cell",
+    "run_matrix",
+    "run_scenario_crawl",
+    "scenario_names",
+    "scenario_retailer",
+]

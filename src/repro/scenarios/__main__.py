@@ -1,0 +1,6 @@
+"""``python -m repro.scenarios``: the scenario-matrix harness CLI."""
+
+from repro.scenarios.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

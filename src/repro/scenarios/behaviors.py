@@ -1,0 +1,434 @@
+"""Adversarial retailer behaviours: the moves a hostile world makes.
+
+Each class here is one way a real retailer (or its infrastructure) can
+fight the measurement methodology -- pricing that moves in time, pages
+whose structure churns, stock that vanishes, bot defenses that cloak,
+prices that stick to sessions, currencies that switch mid-campaign, and
+plain page corruption.  They compose with the ordinary
+:mod:`repro.ecommerce` machinery: pricing behaviours are
+:class:`~repro.ecommerce.pricing.PricingPolicy` wrappers (with honest
+``signals()`` declarations, so the burst memo stays sound by the usual
+contract), template behaviours implement
+:class:`~repro.ecommerce.templates.PageTemplate`, and server behaviours
+subclass :class:`~repro.ecommerce.retailer.RetailerServer`.
+
+Soundness notes, per behaviour, live on the classes -- the scenario
+matrix (:mod:`repro.scenarios.harness`) asserts them: every behaviour
+must leave executor byte-identity intact, and must either stay
+signature-pure (memoizable) or make the burst memo demote its retailer
+to the live path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.ecommerce.catalog import Product
+from repro.ecommerce.pricing import (
+    PricingContext,
+    PricingPolicy,
+    UniformPricing,
+    signals_read,
+)
+from repro.ecommerce.retailer import Retailer, RetailerServer, SignalProfile
+from repro.ecommerce.templates import (
+    TEMPLATE_FAMILIES,
+    PageTemplate,
+    ProductView,
+)
+from repro.htmlmodel.dom import Document
+from repro.net.clock import SECONDS_PER_DAY
+from repro.net.http import HttpRequest, HttpResponse
+from repro.util import stable_hash, stable_uniform
+
+__all__ = [
+    "FlashSale",
+    "SessionStickyPricing",
+    "ChurningTemplate",
+    "StockoutServer",
+    "CloakingServer",
+    "CurrencySwitchServer",
+    "PageCorruptionServer",
+]
+
+
+# ----------------------------------------------------------------------
+# Pricing behaviours
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlashSale:
+    """Flash sales / temporal price spikes around an inner policy.
+
+    Every ``period_days``-th day (offset keyed by the seed) the price of
+    every product is multiplied by ``factor`` -- a deep sale (< 1) or a
+    demand spike (> 1).  The move is *uniform across locations*, so a
+    synchronized fan-out sees no variation from it; naive cross-day
+    comparisons see swings of ``factor``.  Declares ``day_index``, so
+    memoized bursts stay keyed per day and replay the sale correctly.
+    """
+
+    inner: PricingPolicy
+    factor: float = 0.7
+    period_days: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+        if self.period_days < 2:
+            raise ValueError("period_days must be >= 2 (some days off-sale)")
+
+    def sale_on(self, day_index: int) -> bool:
+        """Is the flash sale live on this day?"""
+        offset = stable_hash(self.seed, "flash-sale-offset") % self.period_days
+        return day_index % self.period_days == offset
+
+    def signals(self) -> Optional[frozenset[str]]:
+        """Inner signals plus the request day the sale schedule keys on."""
+        inner = signals_read(self.inner)
+        if inner is None:
+            return None
+        return inner | {"day_index"}
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        base = self.inner.price(product, ctx)
+        if self.sale_on(ctx.day_index):
+            return base * self.factor
+        return base
+
+
+@dataclass(frozen=True)
+class SessionStickyPricing:
+    """Per-session price levels that stick for the session's lifetime.
+
+    Each identity (login id or anonymous session cookie) hashes to a
+    stable point of ``1 ± amplitude`` applied on top of the inner policy
+    -- personalization in the Fig. 10 sense: prices differ *between
+    users* and stay put for each user.  Distinct vantage sessions land
+    on distinct levels, so the fan-out observes real variation (this is
+    discrimination, and the paper reports exactly this kind).
+
+    Declares ``identity`` -- a non-capturable signal -- so the burst
+    memo marks the retailer live-only: response bytes depend on session
+    cookies a fan-out signature cannot see.
+    """
+
+    inner: PricingPolicy
+    amplitude: float = 0.12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.amplitude < 1.0:
+            raise ValueError("amplitude must be in (0, 1)")
+
+    def signals(self) -> Optional[frozenset[str]]:
+        """Inner signals plus the requester identity levels stick to."""
+        inner = signals_read(self.inner)
+        if inner is None:
+            return None
+        return inner | {"identity"}
+
+    def price(self, product: Product, ctx: PricingContext) -> float:
+        """The USD price this policy charges ``ctx`` for ``product``."""
+        base = self.inner.price(product, ctx)
+        identity = ctx.identity or "anonymous"
+        unit = stable_hash(self.seed, identity, "session-level") / 2**64
+        return base * (1.0 - self.amplitude + 2.0 * self.amplitude * unit)
+
+
+# ----------------------------------------------------------------------
+# Template behaviour
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurningTemplate:
+    """A retailer that redesigns its pages every ``period_days`` days.
+
+    The rendered family rotates through ``families`` deterministically,
+    so a price anchor derived on one day stops matching after the next
+    churn -- the §2.2 "different retailers have different web templates"
+    problem, made temporal.  Detection survives only if the operator
+    re-derives anchors when the template changes
+    (``Scenario.reanchor_daily``); the matrix asserts exactly that.
+
+    Rendering is a pure function of the view (whose ``day_index`` the
+    server fills from the request day), so churned pages remain
+    signature-pure and memoizable per day.
+    """
+
+    families: tuple[PageTemplate, ...] = TEMPLATE_FAMILIES
+    period_days: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.families) < 2:
+            raise ValueError("churn needs at least two template families")
+        if self.period_days < 1:
+            raise ValueError("period_days must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return "churning"
+
+    @property
+    def price_selector(self) -> str:
+        """The day-0 family's selector (ground truth *for day 0 only*)."""
+        return self.family_for_day(0).price_selector
+
+    def family_for_day(self, day_index: int) -> PageTemplate:
+        """The family served on ``day_index`` (guaranteed to rotate)."""
+        offset = stable_hash(self.seed, "churn-offset") % len(self.families)
+        index = (day_index // self.period_days + offset) % len(self.families)
+        return self.families[index]
+
+    def selector_for_day(self, day_index: int) -> str:
+        """The ground-truth price selector on ``day_index``."""
+        return self.family_for_day(day_index).price_selector
+
+    def render(self, view: ProductView) -> Document:
+        """Render one product page with the family of the view's day."""
+        return self.family_for_day(view.day_index).render(view)
+
+
+# ----------------------------------------------------------------------
+# Server behaviours
+# ----------------------------------------------------------------------
+class StockoutServer(RetailerServer):
+    """Intermittent stockouts: product pages 404 on a (sku, day) subset.
+
+    A deterministic ``stockout_rate`` fraction of (product, day) pairs is
+    out of stock; requests for them get 404 for the whole day, from every
+    vantage point.  Response bytes stay a pure function of (url, day), so
+    the burst memo remains sound: a fully-404 burst archives nothing and
+    is never stored, and day-keyed entries can never replay across the
+    stock boundary.
+    """
+
+    def __init__(
+        self,
+        retailer: Retailer,
+        *,
+        geoip,
+        rates,
+        seed: int = 0,
+        stockout_rate: float = 0.3,
+    ) -> None:
+        if not 0.0 <= stockout_rate < 1.0:
+            raise ValueError("stockout_rate must be in [0, 1)")
+        super().__init__(retailer, geoip=geoip, rates=rates, seed=seed)
+        self.stockout_rate = stockout_rate
+
+    def stocked_out(self, sku: str, day_index: int) -> bool:
+        """Is ``sku`` out of stock on ``day_index``?"""
+        draw = stable_uniform(
+            0.0, 1.0, self._seed, self.retailer.domain, sku, day_index,
+            "stockout",
+        )
+        return draw < self.stockout_rate
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """404 out-of-stock product pages; everything else as usual."""
+        product = self.retailer.catalog.by_path(request.url.path)
+        if product is not None:
+            day_index = int(request.timestamp // SECONDS_PER_DAY)
+            if self.stocked_out(product.sku, day_index):
+                self._request_count += 1
+                return HttpResponse.not_found(
+                    f"{product.sku} is out of stock on {self.retailer.domain}"
+                )
+        return super().handle(request)
+
+
+class CloakingServer(RetailerServer):
+    """Bot cloaking: high-request-rate origins get a sanitized catalog.
+
+    Real retailers detect scrapers by per-origin request rate and serve
+    them different content.  Here, once an IP exceeds
+    ``daily_request_budget`` requests within one virtual day, the rest of
+    its day is served from a *cloaked* retailer -- same catalog and
+    template, but priced by ``cloaked_policy`` (uniform by default), so a
+    flagged crawler sees an honest shop.  A politely paced crawl stays
+    under the budget and keeps seeing the truth; an aggressive one gets
+    fed the lie (the matrix asserts both sides).
+
+    Responses depend on mutable per-IP history, which no fan-out
+    signature can capture, so :meth:`signature_profile` reports the
+    server unmemoizable -- the burst memo must keep it live.  The per-IP
+    counters are session state: they cross the executor process boundary
+    through :meth:`session_state`, keeping shard execution
+    byte-identical.
+    """
+
+    def __init__(
+        self,
+        retailer: Retailer,
+        *,
+        geoip,
+        rates,
+        seed: int = 0,
+        daily_request_budget: int = 50,
+        cloaked_policy: Optional[PricingPolicy] = None,
+    ) -> None:
+        if daily_request_budget < 1:
+            raise ValueError("daily_request_budget must be >= 1")
+        super().__init__(retailer, geoip=geoip, rates=rates, seed=seed)
+        self.daily_request_budget = daily_request_budget
+        self._cloaked_retailer = replace(
+            retailer, policy=cloaked_policy or UniformPricing()
+        )
+        self._ip_day_counts: dict[tuple[str, int], int] = {}
+        self._cloaked_served = 0
+
+    @property
+    def cloaked_served(self) -> int:
+        """Requests answered with the cloaked catalog so far."""
+        return self._cloaked_served
+
+    def signature_profile(self) -> Optional[SignalProfile]:
+        """``None``: responses read per-IP history no signature captures."""
+        return None
+
+    def session_state(self) -> dict:
+        """Base state plus the per-IP rate counters cloaking keys on."""
+        state = super().session_state()
+        state["ip_day_counts"] = dict(self._ip_day_counts)
+        state["cloaked_served"] = self._cloaked_served
+        return state
+
+    def restore_session_state(self, state: dict) -> None:
+        """Install state captured by :meth:`session_state`."""
+        super().restore_session_state(state)
+        self._ip_day_counts = dict(state["ip_day_counts"])
+        self._cloaked_served = state["cloaked_served"]
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Count the origin; cloak it once it exceeds the daily budget."""
+        day_index = int(request.timestamp // SECONDS_PER_DAY)
+        key = (request.client_ip, day_index)
+        count = self._ip_day_counts.get(key, 0) + 1
+        self._ip_day_counts[key] = count
+        if len(self._ip_day_counts) > 4096:  # drop spent days, keep today
+            self._ip_day_counts = {
+                k: v for k, v in self._ip_day_counts.items()
+                if k[1] >= day_index
+            }
+        if count > self.daily_request_budget:
+            self._cloaked_served += 1
+            honest = self.retailer
+            self.retailer = self._cloaked_retailer
+            try:
+                return super().handle(request)
+            finally:
+                self.retailer = honest
+        return super().handle(request)
+
+
+class CurrencySwitchServer(RetailerServer):
+    """A retailer that redenominates its displayed prices mid-campaign.
+
+    Before ``switch_day`` every visitor sees the shop's home currency;
+    from ``switch_day`` on, prices are geo-localized into the visitor's
+    currency -- so the *displayed* numbers jump by a full FX factor
+    between two crawl days while the underlying USD pricing never moves.
+    Extraction, conversion, and the dataset-wide currency guard must
+    absorb the jump without manufacturing variation.
+
+    The flip is keyed purely on the request day (always part of a burst
+    signature), so the server stays memoizable and sound.
+    """
+
+    def __init__(
+        self,
+        retailer: Retailer,
+        *,
+        geoip,
+        rates,
+        seed: int = 0,
+        switch_day: int = 0,
+    ) -> None:
+        super().__init__(
+            retailer if retailer.localizes_currency
+            else replace(retailer, localizes_currency=True),
+            geoip=geoip, rates=rates, seed=seed,
+        )
+        self.switch_day = switch_day
+        self._localized = self.retailer
+        self._home_only = replace(self.retailer, localizes_currency=False)
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve home-currency pages before the switch, localized after."""
+        day_index = int(request.timestamp // SECONDS_PER_DAY)
+        self.retailer = (
+            self._localized if day_index >= self.switch_day
+            else self._home_only
+        )
+        return super().handle(request)
+
+
+#: Corrupted-page flavours served by :class:`PageCorruptionServer`.  Both
+#: carry the classic-family price anchor so the backend's extraction
+#: engages (and must then be caught by cleaning): the zero flavour
+#: parses to a non-positive price, the garbage flavour fails to parse.
+_ZERO_PRICE_PAGE = (
+    "<html><body><div class='price-box'>"
+    "<span id='product-price' class='price'>$0.00</span>"
+    "</div></body></html>"
+)
+_GARBAGE_PAGE = (
+    "<html><body><div class='price-box'>"
+    "<span id='product-price' class='price'>price unavailable - call us"
+    "</span></div></body></html>"
+)
+
+
+class PageCorruptionServer(RetailerServer):
+    """Serves corrupted product pages for a deterministic (sku, day) subset.
+
+    Models broken deploys and anti-scraping noise: on a ``corruption_rate``
+    fraction of (product, day) pairs the shop answers HTTP 200 with a
+    mangled page -- half the time a parseable-but-absurd ``$0.00`` price,
+    half the time unparseable garbage.  Both flavours keep the classic
+    template's ``#product-price`` anchor (pair this server with
+    :class:`~repro.ecommerce.templates.ClassicTemplate`), so extraction
+    runs and the *cleaning stage* has to do the catching: zero prices die
+    on the non-positive guard, garbage dies on too-few-observations.
+
+    Corruption is a pure function of (url, day): memoization stays sound
+    (a fully-corrupted burst is archived and replayable like any other).
+    """
+
+    def __init__(
+        self,
+        retailer: Retailer,
+        *,
+        geoip,
+        rates,
+        seed: int = 0,
+        corruption_rate: float = 0.3,
+    ) -> None:
+        if not 0.0 <= corruption_rate < 1.0:
+            raise ValueError("corruption_rate must be in [0, 1)")
+        super().__init__(retailer, geoip=geoip, rates=rates, seed=seed)
+        self.corruption_rate = corruption_rate
+
+    def corruption_for(self, sku: str, day_index: int) -> Optional[str]:
+        """The corrupted body served for (sku, day), or ``None`` if clean."""
+        draw = stable_uniform(
+            0.0, 1.0, self._seed, self.retailer.domain, sku, day_index,
+            "corruption",
+        )
+        if draw >= self.corruption_rate:
+            return None
+        return _ZERO_PRICE_PAGE if draw < self.corruption_rate / 2 else _GARBAGE_PAGE
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve the day's corruption for affected products, else normal."""
+        product = self.retailer.catalog.by_path(request.url.path)
+        if product is not None:
+            day_index = int(request.timestamp // SECONDS_PER_DAY)
+            body = self.corruption_for(product.sku, day_index)
+            if body is not None:
+                self._request_count += 1
+                return HttpResponse.html(body)
+        return super().handle(request)

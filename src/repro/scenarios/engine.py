@@ -1,0 +1,222 @@
+"""The scenario engine: named, seeded world mutations with ground truth.
+
+A :class:`Scenario` is a declarative recipe for an adversarial world:
+
+* a base :class:`~repro.ecommerce.world.WorldConfig` (tiny roster, no
+  long tail -- scenario worlds carry only the retailers their story
+  needs),
+* a **mutator** that wires those retailers (honest controls, plain geo
+  discriminators, and the adversarial behaviours from
+  :mod:`repro.scenarios.behaviors`) into the freshly built world, and
+* machine-readable **ground truth**
+  (:class:`~repro.analysis.detection.DomainTruth` per retailer), the
+  reference the harness scores detection against.
+
+The mutation runs *inside* :func:`~repro.ecommerce.world.build_world`
+(triggered by ``WorldConfig.scenario``), so a
+:class:`~repro.ecommerce.world.WorldSpec` regrows the mutated world
+bit-for-bit in executor worker processes -- scenario worlds shard
+exactly like the paper world does.
+
+Registering a scenario is declarative too: build a :class:`Scenario`
+and pass it to :func:`register_scenario` (the built-ins in
+:mod:`repro.scenarios.definitions` do exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.analysis.detection import DomainTruth
+from repro.ecommerce.catalog import Catalog, generate_catalog
+from repro.ecommerce.pricing import PricingPolicy
+from repro.ecommerce.retailer import Retailer, RetailerServer
+from repro.ecommerce.templates import PageTemplate, template_for
+from repro.ecommerce.world import WorldConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ecommerce.world import World
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "apply_scenario",
+    "scenario_catalog",
+    "scenario_retailer",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named adversarial world plus everything needed to judge it.
+
+    ``mutate`` receives the freshly built world and the world seed; it
+    must be a deterministic function of both (no ambient randomness), or
+    worker processes regrowing the world would diverge.  ``truth`` must
+    cover every domain in ``crawl_domains``.  ``reanchor_daily`` marks
+    scenarios whose operator must re-derive price anchors each crawl day
+    (template churn); ``live_only_domains`` lists retailers the burst
+    memo is *expected* to keep on the live path -- the harness asserts
+    the expectation.
+    """
+
+    name: str
+    description: str
+    mutate: Callable[["World", int], None]
+    truth: tuple[DomainTruth, ...]
+    crawl_domains: tuple[str, ...]
+    reanchor_daily: bool = False
+    live_only_domains: frozenset[str] = frozenset()
+    crawl_days: int = 2
+    crawl_start_day: int = 155
+    products_per_retailer: int = 3
+    pacing_seconds: float = 2.0
+    #: The campaign window is deliberately short and busy (40 checks in
+    #: 6 days over a handful of shops): same-day repeat checks of one
+    #: product are what give the burst memo hits to prove equivalence on.
+    campaign_checks: int = 40
+    campaign_population: int = 16
+    campaign_end_day: int = 6
+    min_extent: float = 0.5
+    #: Cleaning drop reasons the scenario is expected to trigger (the
+    #: harness asserts each appears at least once -- corrupted pages must
+    #: die in cleaning, visibly, not by accident).
+    expected_drop_reasons: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or " " in self.name:
+            raise ValueError("scenario names are non-empty and space-free")
+        if not self.crawl_domains:
+            raise ValueError("a scenario must crawl at least one domain")
+        covered = {entry.domain for entry in self.truth}
+        missing = set(self.crawl_domains) - covered
+        if missing:
+            raise ValueError(
+                f"scenario {self.name!r} crawls {sorted(missing)} "
+                "without ground truth"
+            )
+
+    def world_config(self, seed: int = 2013) -> WorldConfig:
+        """The config whose :func:`build_world` yields this scenario."""
+        return WorldConfig(
+            seed=seed,
+            catalog_scale=0.15,
+            long_tail_domains=0,
+            include_long_tail=False,
+            include_named_retailers=False,
+            scenario=self.name,
+        )
+
+    def build_world(self, seed: int = 2013) -> "World":
+        """Build (and mutate) this scenario's world."""
+        from repro.ecommerce.world import build_world
+
+        return build_world(self.world_config(seed))
+
+    def truth_for(self, domain: str) -> DomainTruth:
+        """The ground-truth entry for ``domain`` (KeyError if absent)."""
+        for entry in self.truth:
+            if entry.domain == domain:
+                return entry
+        raise KeyError(domain)
+
+
+#: The scenario registry; populated by :mod:`repro.scenarios.definitions`
+#: at import time and extendable by tests/users via
+#: :func:`register_scenario`.
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry (same-name re-registration wins)."""
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name (helpful KeyError)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def apply_scenario(name: str, world: "World") -> None:
+    """Run the named scenario's mutator against ``world``.
+
+    Called by :func:`~repro.ecommerce.world.build_world` when its config
+    carries a scenario name -- the one place mutation happens, so specs
+    and live worlds can never disagree.
+    """
+    scenario = get_scenario(name)
+    scenario.mutate(world, world.config.seed)
+    missing = [d for d in scenario.crawl_domains if d not in world.retailers]
+    if missing:
+        raise RuntimeError(
+            f"scenario {name!r} promised to crawl {missing} "
+            "but its mutator never registered them"
+        )
+
+
+# ----------------------------------------------------------------------
+# Mutator helpers
+# ----------------------------------------------------------------------
+def scenario_catalog(
+    domain: str, category: str, size: int, *, seed: int
+) -> Catalog:
+    """A small product catalog for a scenario retailer."""
+    return generate_catalog(domain, category, size, seed=seed)
+
+
+def scenario_retailer(
+    world: "World",
+    domain: str,
+    policy: PricingPolicy,
+    *,
+    seed: int,
+    category: str = "department",
+    catalog_size: int = 6,
+    template: Optional[PageTemplate] = None,
+    crowd_weight: float = 4.0,
+    home_country: str = "US",
+    server_factory: Optional[Callable[..., RetailerServer]] = None,
+    **server_kwargs,
+) -> RetailerServer:
+    """Build and register one scenario retailer in ``world``.
+
+    ``server_factory`` selects the server behaviour (defaults to the
+    plain :class:`~repro.ecommerce.retailer.RetailerServer`); extra
+    keyword arguments go to the factory.  The retailer is also weighted
+    into the crowd-campaign domain choice.
+    """
+    labels = domain.split(".")
+    retailer = Retailer(
+        domain=domain,
+        name=(labels[1] if len(labels) > 1 else labels[0]).title(),
+        category=category,
+        catalog=scenario_catalog(domain, category, catalog_size, seed=seed),
+        policy=policy,
+        template=template if template is not None
+        else template_for(domain, seed=seed),
+        trackers=(),
+        home_country=home_country,
+    )
+    factory = server_factory or RetailerServer
+    server = factory(
+        retailer, geoip=world.geoip, rates=world.rates, seed=seed,
+        **server_kwargs,
+    )
+    world.register_retailer(retailer, server=server)
+    world.extra_crowd_weights[domain] = crowd_weight
+    return server

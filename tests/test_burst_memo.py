@@ -413,7 +413,7 @@ class TestCampaignScalePlumbing:
             "jar_snapshots": [
                 vp.jar.snapshot(hosts=set()) for vp in world.vantage_points
             ],
-            "server_counts": {},
+            "server_states": {},
             "burst_memo": {
                 "enabled": True,
                 "validate_fraction": 0.25,
@@ -569,3 +569,82 @@ class TestTimelineReplay:
         pages = [p for p in backend.store if p.check_id == report.check_id]
         assert timeline is not None
         assert [p.timestamp for p in pages] == [a for _, a in timeline]
+
+
+# ----------------------------------------------------------------------
+# TemporalDrift x BurstCache across day boundaries
+# ----------------------------------------------------------------------
+class TestDriftAcrossDayBoundaries:
+    """A drift retailer must never serve a stale memoized price for a
+    new check day: the burst key carries the check day, drift declares
+    ``day_index``, and the memo reprices at every boundary."""
+
+    AMPLITUDE = 0.2
+
+    def _drift_world(self):
+        from repro.ecommerce.pricing import TemporalDrift, UniformPricing
+
+        world = _world()
+        domain = "www.driftbooks.test"
+        _register_retailer(
+            world, domain,
+            TemporalDrift(UniformPricing(), amplitude=self.AMPLITUDE, seed=5),
+        )
+        return world, domain
+
+    def _run_sequence(self, burst_memo: bool):
+        """Two same-day checks, then two more the next day."""
+        from repro.net.clock import SECONDS_PER_DAY
+
+        world, domain = self._drift_world()
+        backend = SheriffBackend(
+            world.network, world.vantage_points, world.rates,
+            burst_memo=burst_memo,
+        )
+        anchor = _anchor(world, domain)
+        product = world.retailer(domain).catalog.products[0]
+        request = CheckRequest(
+            url=f"http://{domain}{product.path}", anchor=anchor
+        )
+        reports = []
+        for day in (40, 41):
+            world.clock.advance_to(day * SECONDS_PER_DAY + 3600.0)
+            reports.append(backend.check(request))
+            world.clock.advance(120.0)
+            reports.append(backend.check(request))
+        return backend, reports
+
+    def test_memoized_day_boundary_reprices_exactly_like_live(self):
+        memo_backend, memo_reports = self._run_sequence(burst_memo=True)
+        live_backend, live_reports = self._run_sequence(burst_memo=False)
+        assert _reports_blob(memo_reports) == _reports_blob(live_reports)
+        assert len(memo_backend.store) > 0
+        assert _store_blob(memo_backend.store) == _store_blob(live_backend.store)
+        stats = memo_backend.burst_cache.stats()
+        # Within each day the second check hits; the new day must miss.
+        assert stats["hits"] == 2
+        assert stats["misses"] == 2
+        assert stats["stores"] == 2
+
+    def test_drift_actually_moved_the_price_between_days(self):
+        """Guard the guard: if drift ever stopped repricing across this
+        boundary, the memo test above would pass vacuously."""
+        _, reports = self._run_sequence(burst_memo=True)
+        day_one = [obs.usd for obs in reports[0].valid_observations()]
+        day_two = [obs.usd for obs in reports[2].valid_observations()]
+        assert day_one and day_two
+        assert day_one != day_two
+
+    def test_memo_hit_timestamps_replay_per_day(self):
+        """Archive timestamps on the hit day come from that day's
+        delivery draws, not the stored day's."""
+        backend, reports = self._run_sequence(burst_memo=True)
+        by_check = {}
+        for page in backend.store:
+            by_check.setdefault(page.check_id, []).append(page.timestamp)
+        first_day_hit = by_check[reports[1].check_id]
+        second_day_hit = by_check[reports[3].check_id]
+        assert len(first_day_hit) == len(second_day_hit) == 14
+        assert all(
+            b > a + 86000 for a, b in zip(first_day_hit, second_day_hit)
+        )

@@ -18,6 +18,11 @@ import sys
 import pytest
 
 from repro.core.backend import CheckRequest, ScheduledCheck, SheriffBackend
+
+# The byte-identity suites below re-run whole crawls/campaigns per
+# worker count: full tier only (docs/TESTING.md).  The ShardPlan /
+# ExecConfig unit tests stay in the fast tier.
+slow = pytest.mark.slow
 from repro.crawler import CrawlConfig, build_plan, run_crawl
 from repro.crowd import CampaignConfig, run_campaign
 from repro.ecommerce.world import WorldConfig, WorldSpec, build_world
@@ -179,6 +184,7 @@ class TestExecConfig:
 # ----------------------------------------------------------------------
 # Byte identity: crawl
 # ----------------------------------------------------------------------
+@slow
 class TestCrawlByteIdentity:
     def test_local_workers_1_2_4_identical(self):
         """The acceptance criterion: same-seed crawls at workers 1/2/4
@@ -206,6 +212,7 @@ class TestCrawlByteIdentity:
 # ----------------------------------------------------------------------
 # Byte identity: campaign
 # ----------------------------------------------------------------------
+@slow
 class TestCampaignByteIdentity:
     def test_local_workers_identical(self):
         base = _campaign_blob(None)
@@ -220,6 +227,7 @@ class TestCampaignByteIdentity:
 # ----------------------------------------------------------------------
 # Executor seams
 # ----------------------------------------------------------------------
+@slow
 class TestExecutorSeams:
     def test_caller_owned_executor_reused_across_days(self):
         base_blob, _ = _crawl_blob(None)

@@ -1,0 +1,138 @@
+"""Seeded property-style fuzzing of world construction and the crowd.
+
+Plain stdlib ``random`` with fixed seeds -- no new dependencies, fully
+reproducible.  The properties:
+
+* any in-range :class:`WorldConfig` builds a working world,
+* every built world's :class:`WorldSpec` survives the pickle round-trip
+  :class:`~repro.exec.ProcessExecutor` workers depend on, and the
+  regrown world serves byte-identical pages,
+* out-of-range configs fail loudly at construction, never at build,
+* :func:`build_population` is deterministic, well-formed, and in-plan
+  at any size.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.crowd.population import COUNTRY_SHARES, build_population
+from repro.ecommerce.world import WorldConfig, WorldSpec, build_world
+from repro.net.geoip import IPAddressPlan
+from repro.scenarios import DEFAULT_SCENARIOS
+
+N_WORLDS = 8
+
+
+def _random_config(rng: random.Random) -> WorldConfig:
+    """One in-range config; occasionally a scenario world."""
+    scenario = None
+    include_named = True
+    if rng.random() < 0.4:
+        scenario = rng.choice(DEFAULT_SCENARIOS)
+        include_named = rng.random() < 0.3
+    return WorldConfig(
+        seed=rng.randrange(1, 10_000),
+        catalog_scale=round(rng.uniform(0.05, 0.5), 3),
+        long_tail_domains=rng.randrange(0, 12),
+        loss_rate=round(rng.uniform(0.0, 0.15), 3),
+        include_long_tail=rng.random() < 0.7,
+        include_named_retailers=include_named,
+        scenario=scenario,
+    )
+
+
+def _sample_page(world) -> tuple[str, str]:
+    """(url, body) of a deterministic first page fetch in ``world``."""
+    domain = sorted(world.retailers)[0]
+    product = world.retailer(domain).catalog.products[0]
+    url = f"http://{domain}{product.path}"
+    vantage = world.vantage_points[0]
+    body = vantage.fetch_with_retries(world.network, url).body
+    return url, body
+
+
+class TestWorldConfigFuzz:
+    def test_random_worlds_build_and_serve(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(N_WORLDS):
+            config = _random_config(rng)
+            world = build_world(config)
+            assert world.retailers, config
+            assert len(world.vantage_points) == 14
+            for domain, retailer in world.retailers.items():
+                assert domain in world.servers
+                assert len(retailer.catalog) > 0
+            if config.scenario is None and config.include_named_retailers:
+                assert len(world.crawled_domains) == 21
+            _, body = _sample_page(world)
+            assert "<html" in body
+
+    def test_spec_pickle_round_trip_regrows_identical_worlds(self):
+        """The ProcessExecutor contract: a worker unpickling the spec
+        must regrow a world serving byte-identical responses."""
+        rng = random.Random(0xBEEF)
+        for _ in range(N_WORLDS):
+            config = _random_config(rng)
+            world = build_world(config)
+            spec = world.spec()
+            assert spec == WorldSpec(config=config)
+            shipped = pickle.loads(pickle.dumps(spec))
+            assert shipped == spec
+            regrown = shipped.build()
+            assert sorted(regrown.retailers) == sorted(world.retailers)
+            assert regrown.extra_crowd_weights == world.extra_crowd_weights
+            assert [vp.ip for vp in regrown.vantage_points] == [
+                vp.ip for vp in world.vantage_points
+            ]
+            url, body = _sample_page(world)
+            regrown_url, regrown_body = _sample_page(regrown)
+            assert (url, body) == (regrown_url, regrown_body)
+
+    def test_out_of_range_configs_fail_at_construction(self):
+        rng = random.Random(0xDEAD)
+        for _ in range(20):
+            field = rng.choice(("catalog_scale", "long_tail_domains", "loss_rate"))
+            bad = {
+                "catalog_scale": rng.choice([0.0, -0.5, 1.0001, 7.0]),
+                "long_tail_domains": -rng.randrange(1, 100),
+                "loss_rate": rng.choice([-0.1, 1.0, 1.5]),
+            }[field]
+            with pytest.raises(ValueError):
+                WorldConfig(**{field: bad})
+
+
+class TestPopulationFuzz:
+    def test_random_populations_are_well_formed(self):
+        plan_countries = {code for code, _ in COUNTRY_SHARES}
+        rng = random.Random(0xFACADE)
+        for _ in range(10):
+            size = rng.randrange(1, 60)
+            seed = rng.randrange(1, 10_000)
+            users = build_population(IPAddressPlan(), size=size, seed=seed)
+            assert len(users) == size
+            assert len({user.user_id for user in users}) == size
+            for user in users:
+                assert user.country_code in plan_countries
+                assert 2 <= len(user.interests) <= 3
+                assert user.activity > 0
+                assert user.client.ip.count(".") == 3
+
+    def test_population_is_deterministic_in_the_seed(self):
+        for seed in (1, 77, 2013):
+            first = build_population(IPAddressPlan(), size=25, seed=seed)
+            second = build_population(IPAddressPlan(), size=25, seed=seed)
+            assert [
+                (u.user_id, u.client.ip, u.interests, u.activity)
+                for u in first
+            ] == [
+                (u.user_id, u.client.ip, u.interests, u.activity)
+                for u in second
+            ]
+
+    def test_population_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_population(IPAddressPlan(), size=0)
