@@ -530,6 +530,176 @@ def bench_campaign_scaling(
     }
 
 
+def _campaign_resume_worker(
+    n_checks: int, days: int, checkpoint_dir, resume: bool, kill, out_path,
+    queue,
+) -> None:
+    """One (optionally checkpointed, optionally self-SIGKILLed) campaign.
+
+    Unlike ``_campaign_scaling_worker`` this drives the *real*
+    :func:`repro.crowd.run_campaign` -- prepare phase, checkpoint
+    commits and all -- because resume cost is exactly what the scaling
+    worker's stripped-down loop cannot measure.
+    """
+    import hashlib
+    import os
+    import resource
+    import signal
+
+    from repro.core.backend import SheriffBackend
+    from repro.crowd.campaign import CampaignConfig, run_campaign
+    from repro.ecommerce.world import WorldConfig, build_world
+    from repro.io import save_crowd_dataset
+
+    if kill is not None:
+        from repro.checkpoint import install_barrier_hook
+
+        point, count = kill
+        fired = [0]
+
+        def hook(name: str) -> None:
+            if name == point:
+                fired[0] += 1
+                if fired[0] == count:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+        install_barrier_hook(hook)
+
+    world = build_world(WorldConfig(catalog_scale=0.2, long_tail_domains=0))
+    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    config = CampaignConfig(
+        n_checks=n_checks, population_size=20, seed=11,
+        start_day=0, end_day=days,
+    )
+    start = time.perf_counter()
+    dataset = run_campaign(
+        world, backend, config, checkpoint_dir=checkpoint_dir, resume=resume
+    )
+    elapsed = time.perf_counter() - start
+    digest = None
+    if out_path is not None:
+        save_crowd_dataset(dataset, out_path, columnar=True)
+        digest = hashlib.sha256(Path(out_path).read_bytes()).hexdigest()
+    queue.put({
+        "checks": len(dataset),
+        "elapsed_s": round(elapsed, 3),
+        "checks_per_second": round(len(dataset) / elapsed, 2),
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        ),
+        "digest": digest,
+    })
+
+
+def _campaign_resume_run(
+    n_checks: int, days: int, checkpoint_dir, *,
+    resume: bool = False, kill=None, out_path=None,
+) -> dict[str, object]:
+    """Spawn one resume-bench worker; returns its result (or, for a
+    killed worker, the parent-measured elapsed time until the SIGKILL)."""
+    import multiprocessing
+    import signal
+
+    import queue as queue_module
+
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    proc = ctx.Process(
+        target=_campaign_resume_worker,
+        args=(n_checks, days, checkpoint_dir, resume, kill, out_path, queue),
+    )
+    start = time.perf_counter()
+    proc.start()
+    proc.join()
+    elapsed = time.perf_counter() - start
+    if kill is not None:
+        if proc.exitcode != -signal.SIGKILL:
+            raise RuntimeError(
+                f"kill-carrying worker exited {proc.exitcode}, not SIGKILL"
+            )
+        return {"elapsed_s": round(elapsed, 3)}
+    if proc.exitcode != 0:
+        raise RuntimeError(f"resume worker exited with {proc.exitcode}")
+    try:
+        return queue.get(timeout=30)
+    except queue_module.Empty:
+        raise RuntimeError(
+            "resume worker exited cleanly without reporting a result"
+        ) from None
+
+
+def bench_campaign_resume(
+    rounds: int, *, n_checks: int = 200_000, days: int = 7
+) -> dict[str, object]:
+    """Kill-safe campaigns at scale: checkpoint overhead + resume cost.
+
+    Four subprocess-isolated runs of the real ``run_campaign``:
+
+    * a *plain* and a *checkpointed* run at ``n_checks // 10`` measure
+      the steady-state checkpointing tax (fsync'd day-segments);
+    * a checkpointed *reference* at full ``n_checks``;
+    * the same run SIGKILLed mid-manifest-append at the day-``days//2``
+      boundary, then *resumed* to completion in a fresh process.
+
+    Headline numbers: resume elapsed + peak RSS vs the uninterrupted
+    run's (the resumed process replays committed day-segments from disk
+    one at a time -- its RSS must stay in the full run's envelope, not
+    grow with the committed prefix), and byte identity of the outputs.
+    ``rounds`` is ignored: every config is a single subprocess run.
+    """
+    import tempfile
+
+    del rounds  # single-shot by design; see docstring
+    with tempfile.TemporaryDirectory(prefix="bench_resume_") as tmp:
+        tmp_path = Path(tmp)
+        tax_checks = max(n_checks // 10, 2000)
+        plain = _campaign_resume_run(tax_checks, days, None)
+        taxed = _campaign_resume_run(
+            tax_checks, days, str(tmp_path / "tax")
+        )
+
+        reference = _campaign_resume_run(
+            n_checks, days, str(tmp_path / "ref"),
+            out_path=str(tmp_path / "ref.jsonl"),
+        )
+        kill_count = days // 2 + 1  # dies appending the day-days//2 line
+        killed = _campaign_resume_run(
+            n_checks, days, str(tmp_path / "run"),
+            kill=("manifest-mid-write", kill_count),
+        )
+        resumed = _campaign_resume_run(
+            n_checks, days, str(tmp_path / "run"), resume=True,
+            out_path=str(tmp_path / "resumed.jsonl"),
+        )
+        if resumed["digest"] != reference["digest"]:
+            raise RuntimeError("resumed campaign diverged from reference bytes")
+        return {
+            "n_checks": n_checks,
+            "days": days,
+            "checkpoint_tax": {
+                "n_checks": tax_checks,
+                "plain_elapsed_s": plain["elapsed_s"],
+                "checkpointed_elapsed_s": taxed["elapsed_s"],
+                "overhead_pct": round(
+                    100.0 * (taxed["elapsed_s"] / plain["elapsed_s"] - 1.0), 1
+                ),
+            },
+            "reference": reference,
+            "killed_at": f"manifest-mid-write#{kill_count}",
+            "killed_elapsed_s": killed["elapsed_s"],
+            "resumed": resumed,
+            "byte_identical": True,
+            "resume_total_vs_uninterrupted": round(
+                (killed["elapsed_s"] + resumed["elapsed_s"])
+                / reference["elapsed_s"],
+                2,
+            ),
+            "rss_resumed_vs_full": round(
+                resumed["peak_rss_mb"] / reference["peak_rss_mb"], 2
+            ),
+        }
+
+
 #: name -> (runner, which rounds argument it takes).
 BENCHES: dict[str, tuple] = {
     "sheriff_check": (bench_sheriff_check, "rounds"),
@@ -539,6 +709,7 @@ BENCHES: dict[str, tuple] = {
     "crowd_checks": (bench_crowd_checks, "heavy"),
     "analysis_aggregation": (bench_analysis_aggregation, "heavy"),
     "campaign_scaling": (bench_campaign_scaling, "heavy"),
+    "campaign_resume": (bench_campaign_resume, "heavy"),
 }
 
 
@@ -546,6 +717,8 @@ def _bench_kwargs(name: str, args) -> dict:
     """Per-bench keyword overrides sourced from the command line."""
     if name == "campaign_scaling":
         return {"n_checks": args.campaign_checks}
+    if name == "campaign_resume":
+        return {"n_checks": args.resume_checks}
     return {}
 
 
@@ -591,6 +764,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--campaign-checks", type=int, default=100_000,
                         help="headline check count for campaign_scaling "
                              "(default 100000)")
+    parser.add_argument("--resume-checks", type=int, default=200_000,
+                        help="headline check count for campaign_resume "
+                             "(default 200000)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).with_name("BENCH_pipeline.json"))
     args = parser.parse_args(argv)

@@ -1,0 +1,177 @@
+"""Run-state capture: everything a resumed run must restore.
+
+The determinism contract (``docs/ARCHITECTURE.md``) makes a check's bytes
+a function of its schedule entry plus a small set of mutable cursors.
+:func:`capture_run_state` snapshots exactly those cursors after each
+committed day-segment:
+
+* the world clock and the backend's check-id counter,
+* the page store's archive hash chain (stream identity, not the window),
+* every vantage point's cookie jar and -- for campaigns -- every crowd
+  user's jar,
+* every retailer server's ``session_state()`` (request counters, plus
+  whatever stateful scenario servers add),
+* the burst memo's live-only demotions (evidence, not cache entries),
+* the campaign RNG's ``getstate()``.
+
+State is serialized as *tagged JSON*: plain JSON cannot round-trip the
+tuples inside ``random.Random.getstate()`` or the ``(ip, day)``-keyed
+dicts the cloaking server tracks, so :func:`encode_state` wraps tuples as
+``{"__t__": [...]}`` and non-string-keyed dicts as ``{"__m__": [[k, v],
+...]}``.  :func:`decode_state` inverts exactly, so
+``decode(json(encode(x))) == x`` for every value the session-state SPI
+produces (test-asserted, including fuzzed nests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.checkpoint.manifest import CheckpointMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+    from repro.core.backend import SheriffBackend
+    from repro.core.extension import UserClient
+    from repro.ecommerce.world import World
+
+__all__ = [
+    "capture_run_state",
+    "decode_state",
+    "encode_state",
+    "restore_run_state",
+]
+
+_TUPLE_TAG = "__t__"
+_MAP_TAG = "__m__"
+_TAGS = (_TUPLE_TAG, _MAP_TAG)
+
+
+# ----------------------------------------------------------------------
+# Tagged JSON encoding
+# ----------------------------------------------------------------------
+def encode_state(obj):
+    """Encode ``obj`` into JSON-representable data, losslessly.
+
+    Tuples and dicts with non-string (or tag-colliding) keys get tagged
+    wrappers; lists, string-keyed dicts, and scalars pass through.
+    Anything else is a hard error -- state that cannot round-trip must
+    never be silently approximated.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, tuple):
+        return {_TUPLE_TAG: [encode_state(v) for v in obj]}
+    if isinstance(obj, list):
+        return [encode_state(v) for v in obj]
+    if isinstance(obj, dict):
+        plain = all(
+            isinstance(k, str) and k not in _TAGS for k in obj
+        )
+        if plain:
+            return {k: encode_state(v) for k, v in obj.items()}
+        return {
+            _MAP_TAG: [
+                [encode_state(k), encode_state(v)] for k, v in obj.items()
+            ]
+        }
+    raise TypeError(
+        f"cannot checkpoint a {type(obj).__name__} value: {obj!r}"
+    )
+
+
+def decode_state(obj):
+    """Invert :func:`encode_state`."""
+    if isinstance(obj, list):
+        return [decode_state(v) for v in obj]
+    if isinstance(obj, dict):
+        if set(obj) == {_TUPLE_TAG}:
+            return tuple(decode_state(v) for v in obj[_TUPLE_TAG])
+        if set(obj) == {_MAP_TAG}:
+            return {
+                decode_state(k): decode_state(v) for k, v in obj[_MAP_TAG]
+            }
+        return {k: decode_state(v) for k, v in obj.items()}
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Run-state capture / restore
+# ----------------------------------------------------------------------
+def capture_run_state(
+    world: "World",
+    backend: "SheriffBackend",
+    *,
+    rng: Optional["random.Random"] = None,
+    user_clients: Optional[Mapping[str, "UserClient"]] = None,
+) -> dict:
+    """Snapshot every mutable cursor a resumed run must restore."""
+    state = {
+        "clock": world.clock.now,
+        "next_check_number": backend.next_check_number,
+        "archive_chain": backend.store.archive_chain,
+        "vantage_jars": {
+            vp.name: vp.jar.snapshot() for vp in world.vantage_points
+        },
+        "servers": {
+            domain: server.session_state()
+            for domain, server in sorted(world.servers.items())
+        },
+        "burst_live_only": backend.burst_cache.live_only_domains(),
+    }
+    if rng is not None:
+        state["rng"] = rng.getstate()
+    if user_clients is not None:
+        state["user_jars"] = {
+            user_id: client.jar.snapshot()
+            for user_id, client in sorted(user_clients.items())
+        }
+    return state
+
+
+def restore_run_state(
+    state: dict,
+    world: "World",
+    backend: "SheriffBackend",
+    *,
+    rng: Optional["random.Random"] = None,
+    user_clients: Optional[Mapping[str, "UserClient"]] = None,
+) -> None:
+    """Install a :func:`capture_run_state` snapshot into a *fresh* world.
+
+    The world must be newly regrown from its :class:`WorldSpec` (clock at
+    the epoch, jars empty, counters zeroed) -- restore advances cursors
+    forward, it cannot rewind a world that already ran.  A snapshot
+    naming a vantage point, server, or user the world does not have
+    raises :class:`CheckpointMismatchError`.
+    """
+    vantages = {vp.name: vp for vp in world.vantage_points}
+    for name, snapshot in state["vantage_jars"].items():
+        point = vantages.get(name)
+        if point is None:
+            raise CheckpointMismatchError(
+                f"checkpoint names unknown vantage point {name!r}"
+            )
+        point.jar.restore(snapshot)
+    for domain, server_state in state["servers"].items():
+        server = world.servers.get(domain)
+        if server is None:
+            raise CheckpointMismatchError(
+                f"checkpoint names unknown retailer server {domain!r}"
+            )
+        server.restore_session_state(server_state)
+    if user_clients is not None:
+        for user_id, snapshot in state.get("user_jars", {}).items():
+            client = user_clients.get(user_id)
+            if client is None:
+                raise CheckpointMismatchError(
+                    f"checkpoint names unknown crowd user {user_id!r}"
+                )
+            client.jar.restore(snapshot)
+    if rng is not None and "rng" in state:
+        rng.setstate(state["rng"])
+    backend.burst_cache.restore_live_only(state["burst_live_only"])
+    backend.store.restore_archive_chain(state["archive_chain"])
+    backend.next_check_number = state["next_check_number"]
+    world.clock.advance_to(state["clock"])

@@ -66,14 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how shards execute: in this process or in a "
                             "worker-process pool (default: local)")
 
+    def add_checkpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="spill each completed day to DIR so a killed "
+                            "run can resume (see --resume)")
+        p.add_argument("--resume", action="store_true",
+                       help="continue a run checkpointed in "
+                            "--checkpoint-dir, skipping committed days")
+
     p_campaign = sub.add_parser("campaign", help="run the crowd campaign")
     add_scale(p_campaign)
     add_exec(p_campaign)
+    add_checkpoint(p_campaign)
     p_campaign.add_argument("--out", help="write the dataset to this JSONL file")
 
     p_crawl = sub.add_parser("crawl", help="run the systematic crawl")
     add_scale(p_crawl)
     add_exec(p_crawl)
+    add_checkpoint(p_crawl)
     p_crawl.add_argument("--out", help="write the dataset to this JSONL file")
     p_crawl.add_argument(
         "--scenario", metavar="NAME",
@@ -115,9 +125,19 @@ def _exec_config(args: argparse.Namespace) -> Optional[ExecConfig]:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _checkpoint_args(args: argparse.Namespace) -> dict:
+    """The checkpoint kwargs the flags describe (validated)."""
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = getattr(args, "resume", False)
+    if resume and checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    return {"checkpoint_dir": checkpoint_dir, "resume": resume}
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     ctx = ExperimentContext(args.scale, seed=args.seed,
-                            exec_config=_exec_config(args))
+                            exec_config=_exec_config(args),
+                            **_checkpoint_args(args))
     dataset = ctx.crowd
     summary = dataset.summary()
     print(
@@ -135,9 +155,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.scenario:
+        if getattr(args, "checkpoint_dir", None):
+            raise SystemExit(
+                "--checkpoint-dir does not apply to scenario crawls"
+            )
         return _cmd_crawl_scenario(args)
     ctx = ExperimentContext(args.scale, seed=args.seed,
-                            exec_config=_exec_config(args))
+                            exec_config=_exec_config(args),
+                            **_checkpoint_args(args))
     dataset = ctx.crawl
     print(f"crawl complete: {dataset.summary()}")
     if args.out:

@@ -36,7 +36,6 @@ the reports back in plan order, byte-identical to the sequential loop.
 
 from __future__ import annotations
 
-import itertools
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol, Sequence
@@ -139,7 +138,7 @@ class SheriffBackend:
         self.rates = rates
         self.converter = Converter(rates)
         self.store = store if store is not None else PageStore()
-        self._check_counter = itertools.count(1)
+        self._next_check_number = 1
         # The guard depends only on (currencies seen, day); a day's burst of
         # checks over the same retailers recomputes it constantly otherwise.
         self._guard_cache: dict[tuple[int, frozenset[str]], float] = {}
@@ -153,6 +152,22 @@ class SheriffBackend:
             else BurstCache(enabled=burst_memo)
         )
         self._structured_fetch_hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def next_check_number(self) -> int:
+        """The number the next scheduled check's id will carry.
+
+        Checkpoint resume restores this cursor so a resumed run assigns
+        the same ``chk%07d`` ids an uninterrupted run would have.
+        """
+        return self._next_check_number
+
+    @next_check_number.setter
+    def next_check_number(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("next_check_number must be >= 1")
+        self._next_check_number = int(value)
 
     # ------------------------------------------------------------------
     def check(
@@ -222,15 +237,17 @@ class SheriffBackend:
                 tick += pacing_seconds
             if pacing_seconds and requests:
                 advance_after = tick
-        scheduled = [
-            ScheduledCheck(
-                index=i,
-                check_id=f"chk{next(self._check_counter):07d}",
-                start_ts=times[i],
-                request=request,
+        scheduled = []
+        for i, request in enumerate(requests):
+            scheduled.append(
+                ScheduledCheck(
+                    index=i,
+                    check_id=f"chk{self._next_check_number:07d}",
+                    start_ts=times[i],
+                    request=request,
+                )
             )
-            for i, request in enumerate(requests)
-        ]
+            self._next_check_number += 1
         if executor is None:
             reports = []
             for sched in scheduled:

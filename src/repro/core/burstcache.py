@@ -450,6 +450,27 @@ class BurstCache:
         state.entries.clear()
         self._demotions += 1
 
+    def restore_live_only(self, demoted: dict[str, str]) -> None:
+        """Re-apply live-only verdicts captured by a checkpoint.
+
+        A resumed run starts with a cold cache (entries are recomputable
+        and deliberately not checkpointed), but demotions are *evidence*
+        -- a policy was caught reading past its declaration -- and
+        forgetting them would let the resumed run briefly serve entries an
+        uninterrupted run never would have.  Restoring them keeps the
+        memo's trust decisions monotone across a kill.
+        """
+        for domain, reason in demoted.items():
+            state = self._domains.get(domain)
+            if state is None:
+                self._domains[domain] = _DomainState(
+                    server=None, live_reason=reason
+                )
+            elif not state.live_only:
+                state.server = None
+                state.live_reason = reason
+                state.entries.clear()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

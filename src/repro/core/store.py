@@ -15,11 +15,15 @@ text of what was fetched.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 __all__ = ["ArchivedPage", "PageStore"]
+
+#: Initial value of the archive hash chain (no pages archived yet).
+_CHAIN_SEED = b"\x00" * 16
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,7 @@ class PageStore:
         # instance, so equal bodies are stored once (str is immutable).
         self._interned: dict[str, str] = {}
         self._dedup_hits = 0
+        self._archive_chain = _CHAIN_SEED
 
     # ------------------------------------------------------------------
     def archive(
@@ -93,6 +98,14 @@ class PageStore:
         holding a redundant copy (paper-scale crawls archive ~200K pages,
         most of them byte-identical across vantage points).
         """
+        digest = hashlib.blake2b(
+            "\x1f".join(
+                (check_id, url, domain, vantage, repr(timestamp), html)
+            ).encode("utf-8"),
+            digest_size=16,
+            key=self._archive_chain,
+        )
+        self._archive_chain = digest.digest()
         if self.metadata_cap is not None:
             while len(self._pages) >= self.metadata_cap:
                 evicted = self._pages.popleft()  # type: ignore[union-attr]
@@ -159,9 +172,36 @@ class PageStore:
             "store_dedup_hits": self._dedup_hits,
         }
 
+    # ------------------------------------------------------------------
+    @property
+    def archive_chain(self) -> str:
+        """Hex digest of the rolling hash chain over every archived fetch.
+
+        Each :meth:`archive` call folds the page's identifying fields and
+        full HTML into a keyed blake2b chain.  Two stores that processed
+        the same archive *stream* -- regardless of retention caps or
+        eviction -- end with equal chains, which is what checkpoint resume
+        asserts instead of comparing page windows byte by byte.
+        """
+        return self._archive_chain.hex()
+
+    def restore_archive_chain(self, chain: str) -> None:
+        """Reset the chain cursor to a previously captured value.
+
+        Used on checkpoint resume: the store starts empty (the retention
+        window refills as the resumed run archives pages) but the chain
+        continues from where the interrupted run committed, so the final
+        chain matches an uninterrupted run's.
+        """
+        raw = bytes.fromhex(chain)
+        if len(raw) != len(_CHAIN_SEED):
+            raise ValueError(f"archive chain must be {len(_CHAIN_SEED)} bytes")
+        self._archive_chain = raw
+
     def clear(self) -> None:
         """Drop every archived page and reset the retention counters."""
         self._pages.clear()
         self._html_counts.clear()
         self._interned.clear()
         self._dedup_hits = 0
+        self._archive_chain = _CHAIN_SEED

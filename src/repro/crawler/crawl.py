@@ -17,19 +17,30 @@ determinism contract, ``docs/ARCHITECTURE.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
 
+from repro.checkpoint import (
+    MID_DAY,
+    CheckpointMismatchError,
+    RunCheckpoint,
+    barrier,
+    capture_run_state,
+    restore_run_state,
+    run_fingerprint,
+)
 from repro.core.backend import CheckRequest, SheriffBackend
 from repro.crawler.plan import CrawlPlan
 from repro.crawler.records import CrawlDataset
 from repro.ecommerce.world import World
 from repro.net.clock import SECONDS_PER_DAY
+from repro.util import stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.backend import SupportsRun
     from repro.exec import ExecConfig
 
-__all__ = ["CrawlConfig", "run_crawl"]
+__all__ = ["CrawlConfig", "plan_digest", "run_crawl"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +63,22 @@ class CrawlConfig:
             raise ValueError("pacing_seconds must be >= 0")
 
 
+def plan_digest(plan: CrawlPlan) -> str:
+    """A stable identity for a crawl plan (part of the run fingerprint).
+
+    Two plans digest equal exactly when they visit the same product URLs
+    with the same anchors in the same order -- the inputs that determine
+    the crawl's bytes.
+    """
+    parts: list[object] = []
+    for target in plan.targets:
+        parts.append(target.domain)
+        parts.extend(target.product_urls)
+        parts.append(target.anchor.selector)
+        parts.append(target.anchor.node_path)
+    return f"{stable_hash(*parts):016x}"
+
+
 def run_crawl(
     world: World,
     backend: SheriffBackend,
@@ -60,6 +87,8 @@ def run_crawl(
     *,
     exec_config: Optional["ExecConfig"] = None,
     executor: Optional["SupportsRun"] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> CrawlDataset:
     """Execute the crawl plan and return the crawled dataset.
 
@@ -75,17 +104,56 @@ def run_crawl(
     the backend's burst memo on or off (:mod:`repro.core.burstcache`):
     repeated checks of a signature-pure retailer's product on one day
     serve from the memo, byte-for-byte including archive timestamps.
+
+    ``checkpoint_dir`` makes the crawl kill-safe: each completed day is
+    durably committed (dataset shard + run state) before the next starts,
+    and ``resume=True`` against a freshly built world and the same plan
+    skips committed days -- see :mod:`repro.checkpoint`.  The crawl is
+    already day-batched, so checkpointed and non-checkpointed crawls are
+    byte-identical to each other.
     """
     config = config or CrawlConfig()
     if not plan.targets:
         raise ValueError("empty crawl plan")
     if exec_config is not None and executor is not None:
         raise ValueError("pass exec_config or executor, not both")
+
+    checkpoint = None
+    start_offset = 0
+    if checkpoint_dir is not None:
+        checkpoint = RunCheckpoint.open(
+            checkpoint_dir,
+            kind="crawl",
+            fingerprint=run_fingerprint(
+                "crawl", world.config, config, plan=plan_digest(plan)
+            ),
+            resume=resume,
+        )
+        committed = checkpoint.committed
+        if len(committed) > config.days:
+            raise CheckpointMismatchError(
+                f"checkpoint holds {len(committed)} segments, crawl only "
+                f"has {config.days} days"
+            )
+        for offset, record in enumerate(committed):
+            if record["day"] != config.start_day + offset:
+                raise CheckpointMismatchError(
+                    f"checkpoint segment {record['seq']} covers day "
+                    f"{record['day']}, crawl expects day "
+                    f"{config.start_day + offset}"
+                )
+        start_offset = len(committed)
+
     owned = exec_config.create(world) if exec_config is not None else None
     active = executor if executor is not None else owned
     dataset = CrawlDataset()
+    if checkpoint is not None:
+        checkpoint.fold_into(dataset)
+        state = checkpoint.load_last_state()
+        if state is not None:
+            restore_run_state(state, world, backend)
     try:
-        for day_offset in range(config.days):
+        for day_offset in range(start_offset, config.days):
             day_start = (config.start_day + day_offset) * SECONDS_PER_DAY
             if day_start > world.clock.now:
                 world.clock.advance_to(day_start)
@@ -100,12 +168,32 @@ def run_crawl(
             ]
             # Stream the day's merged reports straight into the dataset's
             # columnar spine (plan order) -- no intermediate report list.
+            if checkpoint is None:
+                backend.check_batch(
+                    requests,
+                    pacing_seconds=config.pacing_seconds,
+                    executor=active,
+                    sink=dataset.add,
+                )
+                continue
+            staging = CrawlDataset()
+
+            def sink(report) -> None:
+                barrier(MID_DAY)
+                staging.add(report)
+
             backend.check_batch(
                 requests,
                 pacing_seconds=config.pacing_seconds,
                 executor=active,
-                sink=dataset.add,
+                sink=sink,
             )
+            checkpoint.commit_segment(
+                day=config.start_day + day_offset,
+                dataset=staging,
+                state=capture_run_state(world, backend),
+            )
+            dataset.append_segment(staging)
     finally:
         if owned is not None:
             owned.close()

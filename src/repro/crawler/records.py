@@ -47,6 +47,14 @@ class CrawlDataset:
         """Append one product-day report."""
         self._table.append(report)
 
+    def append_segment(self, other: "CrawlDataset") -> None:
+        """Fold another dataset's rows onto this spine (columnar merge).
+
+        Delegates to :meth:`ReportTable.append_segment`; byte-identical
+        to re-adding every report, without materializing any.
+        """
+        self._table.append_segment(other._table)
+
     def __len__(self) -> int:
         return len(self._table)
 

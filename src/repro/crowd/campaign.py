@@ -18,8 +18,18 @@ analysis).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
 
+from repro.checkpoint import (
+    MID_DAY,
+    CheckpointMismatchError,
+    RunCheckpoint,
+    barrier,
+    capture_run_state,
+    restore_run_state,
+    run_fingerprint,
+)
 from repro.core.backend import SheriffBackend
 from repro.core.extension import PreparedCheck, SheriffExtension
 from repro.crowd.dataset import CheckRecord, CrowdDataset
@@ -73,6 +83,8 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     *,
     exec_config: Optional["ExecConfig"] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> CrowdDataset:
     """Run the campaign and return the crowdsourced dataset.
 
@@ -89,6 +101,19 @@ def run_campaign(
     forked burst clock, so the reports are byte-identical whether the
     batch executes inline or sharded across ``exec_config.workers``
     workers.
+
+    ``checkpoint_dir`` makes the run kill-safe: the click stream is
+    segmented by day, each day runs prepare-then-submit as its own batch,
+    and every completed day is durably committed (dataset shard + run
+    state) before the next starts -- see :mod:`repro.checkpoint`.
+    ``resume=True`` against a *freshly built* world restores the last
+    committed state and continues; the finished dataset is byte-identical
+    to an uninterrupted checkpointed run at any worker count, memo on or
+    off.  Note the day-segmented schedule interleaves prepares and
+    fan-outs, so server request counters (the pricing nonce) evolve
+    differently than under the single-batch plan: checkpointed and
+    non-checkpointed runs are each internally deterministic but not
+    byte-identical to each other.
     """
     config = config or CampaignConfig()
     rng = stable_rng(config.seed, "campaign")
@@ -123,85 +148,164 @@ def run_campaign(
     window_seconds = (config.end_day - config.start_day) * SECONDS_PER_DAY
     offsets = sorted(rng.uniform(0, window_seconds) for _ in range(config.n_checks))
 
-    # Phase one: the client side of every click, in chronological order.
-    clicks: list[tuple[CrowdUser, str, int, str, PreparedCheck]] = []
-    for offset in offsets:
-        timestamp = config.start_day * SECONDS_PER_DAY + offset
-        if timestamp > world.clock.now:
-            world.clock.advance_to(timestamp)
-        user = rng.choices(users, weights=user_weights, k=1)[0]
-        domain = rng.choices(domains, weights=weights_for(user), k=1)[0]
-        retailer = world.retailer(domain)
-        product = rng.choice(retailer.catalog.products)
-        url = f"http://{domain}{product.path}"
-        # The user's eyes track the page actually served today (churning
-        # templates), exactly like the crawl operator's anchor step.
-        finder = _make_finder(
-            selector_on_day(retailer.template, int(timestamp // SECONDS_PER_DAY)),
-            wrong=rng.random() < config.p_wrong_highlight,
-        )
-        referer = (
-            config.aggregator_referer if rng.random() < config.p_referred else None
-        )
-        prepared = extension.prepare_check(
-            user.client, url, finder, origin=user.user_id, referer=referer
-        )
-        clicks.append(
-            (user, domain, int(timestamp // SECONDS_PER_DAY), url, prepared)
-        )
-
-    # Phase two: one scheduled batch of every click that reached the
-    # backend, fanned out at each click's own instant (and optionally
-    # sharded across workers -- bytes are identical either way).  Reports
-    # stream straight into the dataset's columnar spine: the sink attaches
-    # each report to its click and flushes every click whose fate is
-    # settled into the table, releasing the click (and with it the report
-    # dataclass -- the table does not retain it) immediately.  No
-    # intermediate report list exists at any scale.
-    ready = [click[4] for click in clicks if click[4].request is not None]
-    dataset = CrowdDataset()
-    cursor = 0  # next click to flush into the dataset
-    filled = 0  # ready checks whose report has streamed in
-
-    def flush_settled() -> None:
-        nonlocal cursor
-        while cursor < len(clicks):
-            user, domain, day_index, url, prepared = clicks[cursor]
-            if prepared.request is not None and prepared.outcome.report is None:
-                break  # its report has not streamed in yet
-            dataset.add(
-                CheckRecord(
-                    user_id=user.user_id,
-                    user_country=user.country_code,
-                    day_index=day_index,
-                    domain=domain,
-                    url=url,
-                    outcome=prepared.outcome,
-                )
+    def prepare_clicks(
+        batch_offsets: list[float],
+    ) -> list[tuple[CrowdUser, str, int, str, PreparedCheck]]:
+        # Phase one: the client side of every click, in chronological
+        # order -- the user's own page load (which drives the world
+        # clock), the highlight, the anchor derivation.
+        clicks: list[tuple[CrowdUser, str, int, str, PreparedCheck]] = []
+        for offset in batch_offsets:
+            timestamp = config.start_day * SECONDS_PER_DAY + offset
+            if timestamp > world.clock.now:
+                world.clock.advance_to(timestamp)
+            user = rng.choices(users, weights=user_weights, k=1)[0]
+            domain = rng.choices(domains, weights=weights_for(user), k=1)[0]
+            retailer = world.retailer(domain)
+            product = rng.choice(retailer.catalog.products)
+            url = f"http://{domain}{product.path}"
+            # The user's eyes track the page actually served today
+            # (churning templates), exactly like the crawl operator's
+            # anchor step.
+            finder = _make_finder(
+                selector_on_day(
+                    retailer.template, int(timestamp // SECONDS_PER_DAY)
+                ),
+                wrong=rng.random() < config.p_wrong_highlight,
             )
-            clicks[cursor] = None  # type: ignore[call-overload]
-            cursor += 1
+            referer = (
+                config.aggregator_referer
+                if rng.random() < config.p_referred
+                else None
+            )
+            prepared = extension.prepare_check(
+                user.client, url, finder, origin=user.user_id, referer=referer
+            )
+            clicks.append(
+                (user, domain, int(timestamp // SECONDS_PER_DAY), url, prepared)
+            )
+        return clicks
 
-    def sink(report) -> None:
-        nonlocal filled
-        prepared = ready[filled]
-        ready[filled] = None  # type: ignore[call-overload]
-        filled += 1
-        prepared.outcome.report = report
-        flush_settled()
+    def submit_clicks(
+        clicks: list, dataset: CrowdDataset, executor, *,
+        checkpointing: bool = False,
+    ) -> None:
+        # Phase two: one scheduled batch of every click that reached the
+        # backend, fanned out at each click's own instant (and optionally
+        # sharded across workers -- bytes are identical either way).
+        # Reports stream straight into the dataset's columnar spine: the
+        # sink attaches each report to its click and flushes every click
+        # whose fate is settled into the table, releasing the click (and
+        # with it the report dataclass -- the table does not retain it)
+        # immediately.  No intermediate report list exists at any scale.
+        ready = [click[4] for click in clicks if click[4].request is not None]
+        cursor = 0  # next click to flush into the dataset
+        filled = 0  # ready checks whose report has streamed in
 
-    executor = exec_config.create(world) if exec_config is not None else None
-    try:
+        def flush_settled() -> None:
+            nonlocal cursor
+            while cursor < len(clicks):
+                user, domain, day_index, url, prepared = clicks[cursor]
+                if prepared.request is not None and prepared.outcome.report is None:
+                    break  # its report has not streamed in yet
+                dataset.add(
+                    CheckRecord(
+                        user_id=user.user_id,
+                        user_country=user.country_code,
+                        day_index=day_index,
+                        domain=domain,
+                        url=url,
+                        outcome=prepared.outcome,
+                    )
+                )
+                clicks[cursor] = None  # type: ignore[call-overload]
+                cursor += 1
+
+        def sink(report) -> None:
+            nonlocal filled
+            prepared = ready[filled]
+            ready[filled] = None  # type: ignore[call-overload]
+            filled += 1
+            prepared.outcome.report = report
+            if checkpointing:
+                barrier(MID_DAY)
+            flush_settled()
+
         backend.check_batch(
             [prepared.request for prepared in ready],
             start_times=[prepared.start_ts for prepared in ready],
             executor=executor,
             sink=sink,
         )
+        flush_settled()  # trailing clicks that never reached the backend
+
+    if checkpoint_dir is None:
+        # The single-batch plan: all prepares, then one scheduled batch.
+        clicks = prepare_clicks(offsets)
+        dataset = CrowdDataset()
+        executor = exec_config.create(world) if exec_config is not None else None
+        try:
+            submit_clicks(clicks, dataset, executor)
+        finally:
+            if executor is not None:
+                executor.close()
+        return dataset
+
+    # Checkpointed: the click stream segmented by day, each day committed
+    # before the next starts.
+    checkpoint = RunCheckpoint.open(
+        checkpoint_dir,
+        kind="campaign",
+        fingerprint=run_fingerprint("campaign", world.config, config),
+        resume=resume,
+    )
+    groups: list[tuple[int, list[float]]] = []
+    for offset in offsets:
+        day = int((config.start_day * SECONDS_PER_DAY + offset) // SECONDS_PER_DAY)
+        if groups and groups[-1][0] == day:
+            groups[-1][1].append(offset)
+        else:
+            groups.append((day, [offset]))
+    committed = checkpoint.committed
+    if len(committed) > len(groups):
+        raise CheckpointMismatchError(
+            f"checkpoint holds {len(committed)} segments, campaign only "
+            f"has {len(groups)} days with clicks"
+        )
+    for record, (day, _) in zip(committed, groups):
+        if record["day"] != day:
+            raise CheckpointMismatchError(
+                f"checkpoint segment {record['seq']} covers day "
+                f"{record['day']}, campaign expects day {day}"
+            )
+
+    dataset = CrowdDataset()
+    checkpoint.fold_into(dataset)
+    user_clients = {user.user_id: user.client for user in users}
+    state = checkpoint.load_last_state()
+    if state is not None:
+        restore_run_state(
+            state, world, backend, rng=rng, user_clients=user_clients
+        )
+    executor = exec_config.create(world) if exec_config is not None else None
+    try:
+        for seq, (day, day_offsets) in enumerate(groups):
+            if seq < len(committed):
+                continue  # durable on disk, already folded into dataset
+            clicks = prepare_clicks(day_offsets)
+            staging = CrowdDataset()
+            submit_clicks(clicks, staging, executor, checkpointing=True)
+            checkpoint.commit_segment(
+                day=day,
+                dataset=staging,
+                state=capture_run_state(
+                    world, backend, rng=rng, user_clients=user_clients
+                ),
+            )
+            dataset.append_segment(staging)
     finally:
         if executor is not None:
             executor.close()
-    flush_settled()  # trailing clicks that never reached the backend
     return dataset
 
 

@@ -138,6 +138,49 @@ class CrowdDataset:
             table.append(outcome.report) if outcome.report is not None else -1
         )
 
+    def append_segment(self, other: "CrowdDataset") -> None:
+        """Fold another dataset's rows onto this one, column by column.
+
+        The checkpoint-resume merge path: report columns go through
+        :meth:`ReportTable.append_segment` (which returns the pool-id
+        remaps), record-level pools are re-interned into this dataset's
+        own pools, and the record columns are extended with translated
+        ids.  Byte-identical to re-adding every record (test-asserted),
+        without materializing a single :class:`CheckRecord`.
+        """
+        base = len(self._table)
+        maps = self._table.append_segment(other._table)
+        user_map = [self._users.intern(v) for v in other._users.values]
+        country_map = [
+            self._user_countries.intern(v)
+            for v in other._user_countries.values
+        ]
+        failure_map = [
+            self._failures.intern(v) for v in other._failures.values
+        ]
+        self._r_user_id.extend(user_map[v] for v in other._r_user_id)
+        self._r_country_id.extend(
+            country_map[v] for v in other._r_country_id
+        )
+        self._r_day.extend(other._r_day)
+        self._r_domain_id.extend(
+            maps["domains"][v] for v in other._r_domain_id
+        )
+        self._r_url_id.extend(maps["urls"][v] for v in other._r_url_id)
+        self._o_url_id.extend(maps["urls"][v] for v in other._o_url_id)
+        self._o_user_id.extend(user_map[v] for v in other._o_user_id)
+        self._o_amount.extend(other._o_amount)
+        self._o_currency_id.extend(
+            NO_CURRENCY if v == NO_CURRENCY else maps["currencies"][v]
+            for v in other._o_currency_id
+        )
+        self._o_failure_id.extend(
+            failure_map[v] for v in other._o_failure_id
+        )
+        self._report_row.extend(
+            -1 if row < 0 else base + row for row in other._report_row
+        )
+
     def record(self, i: int) -> CheckRecord:
         """Record ``i`` as a :class:`CheckRecord` (lazily built, cached
         weakly -- same object while any reference to it is alive)."""

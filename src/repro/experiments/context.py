@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.analysis.cleaning import CleanResult, clean_reports
 from repro.core.backend import SheriffBackend
@@ -83,6 +84,11 @@ class ExperimentContext:
     ``exec_config`` shards the campaign and crawl fan-outs across workers
     (``repro.exec``); datasets are byte-identical at any worker count, so
     the figures cannot depend on it.
+
+    ``checkpoint_dir`` makes the dataset builds kill-safe: the campaign
+    checkpoints into ``<dir>/campaign`` and the crawl into ``<dir>/crawl``
+    (:mod:`repro.checkpoint`); ``resume=True`` continues interrupted
+    builds from their last committed day.
     """
 
     def __init__(
@@ -91,6 +97,8 @@ class ExperimentContext:
         *,
         seed: int = 2013,
         exec_config: Optional["ExecConfig"] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> None:
         if isinstance(scale, str):
             try:
@@ -102,6 +110,10 @@ class ExperimentContext:
         self.scale = scale
         self.seed = seed
         self.exec_config = exec_config
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.resume = resume
         self._world: Optional[World] = None
         self._backend: Optional[SheriffBackend] = None
         self._crowd: Optional[CrowdDataset] = None
@@ -135,6 +147,12 @@ class ExperimentContext:
                 self.backend,
                 self.scale.campaign_config(self.seed),
                 exec_config=self.exec_config,
+                checkpoint_dir=(
+                    self.checkpoint_dir / "campaign"
+                    if self.checkpoint_dir is not None
+                    else None
+                ),
+                resume=self.resume,
             )
         return self._crowd
 
@@ -161,6 +179,12 @@ class ExperimentContext:
                 self.plan,
                 self.scale.crawl_config(),
                 exec_config=self.exec_config,
+                checkpoint_dir=(
+                    self.checkpoint_dir / "crawl"
+                    if self.checkpoint_dir is not None
+                    else None
+                ),
+                resume=self.resume,
             )
         return self._crawl
 

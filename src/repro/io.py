@@ -179,6 +179,24 @@ def _read_lines(
     return header, rows
 
 
+def _check_declared_count(
+    path: Union[str, Path], header: dict, key: str, actual: int
+) -> None:
+    """Fail loudly when a file holds fewer rows than its header declares.
+
+    A crash mid-write can truncate a rows-layout file at a line boundary
+    -- every surviving line is valid JSON, so only the header's declared
+    count betrays the loss.  (A torn *last* line is caught earlier by the
+    per-line JSON parse.)
+    """
+    declared = header.get(key)
+    if isinstance(declared, int) and declared != actual:
+        raise DatasetFormatError(
+            f"{path}: header declares {declared} {key}, file holds {actual} "
+            f"(truncated write?)"
+        )
+
+
 def dataset_kind(path: Union[str, Path]) -> str:
     """The ``kind`` declared in a dataset file's header (header-only read)."""
     path = Path(path)
@@ -270,10 +288,13 @@ def load_crawl_dataset(path: Union[str, Path]) -> CrawlDataset:
         sections = _columnar_sections(
             path, rows, ("pools", "reports", "observations")
         )
-        return CrawlDataset(table=_table_from_sections(path, sections))
+        dataset = CrawlDataset(table=_table_from_sections(path, sections))
+        _check_declared_count(path, header, "reports", len(dataset))
+        return dataset
     dataset = CrawlDataset()
     for row in rows:
         dataset.add(report_from_dict(row))
+    _check_declared_count(path, header, "reports", len(dataset))
     return dataset
 
 
@@ -335,9 +356,11 @@ def load_crowd_dataset(path: Union[str, Path]) -> CrowdDataset:
         )
         table = _table_from_sections(path, sections[:3])
         try:
-            return CrowdDataset.from_columns(table, sections[0], sections[3])
+            dataset = CrowdDataset.from_columns(table, sections[0], sections[3])
         except ValueError as exc:
             raise DatasetFormatError(f"{path}: {exc}") from exc
+        _check_declared_count(path, header, "records", len(dataset))
+        return dataset
     dataset = CrowdDataset()
     for row in rows:
         try:
@@ -363,4 +386,5 @@ def load_crowd_dataset(path: Union[str, Path]) -> CrowdDataset:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise DatasetFormatError(f"bad crowd record: {exc}") from exc
+    _check_declared_count(path, header, "records", len(dataset))
     return dataset

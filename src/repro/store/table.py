@@ -215,6 +215,68 @@ class ReportTable:
         for report in reports:
             self.append(report)
 
+    def append_segment(self, other: "ReportTable") -> dict[str, list[int]]:
+        """Fold another table's rows onto this one, column by column.
+
+        This is the checkpoint-resume fast path: a loaded day-segment is
+        merged by remapping its pool ids into this table's pools and
+        extending the columns directly -- no :class:`PriceCheckReport` is
+        materialized, so peak memory stays at (spine + one segment).  The
+        result is byte-identical to appending ``other``'s reports one by
+        one (test-asserted).
+
+        Returns the id remap per pool (``other`` id -> ``self`` id) so
+        wrapping datasets (:class:`~repro.crowd.dataset.CrowdDataset`)
+        can translate their own columns with the same maps.
+        """
+        maps = {
+            name: [pool.intern(v) for v in getattr(other, attr).values]
+            for name, attr, pool in (
+                ("domains", "domains", self.domains),
+                ("urls", "urls", self.urls),
+                ("vantages", "vantages", self.vantages),
+                ("countries", "countries", self.countries),
+                ("cities", "cities", self.cities),
+                ("currencies", "currencies", self.currencies),
+                ("methods", "methods", self.methods),
+                ("errors", "errors", self.errors),
+                ("origins", "origins", self.origins),
+                ("raw", "raw_texts", self.raw_texts),
+            )
+        }
+        self.check_id.extend(other.check_id)
+        self.url_id.extend(maps["urls"][v] for v in other.url_id)
+        self.domain_id.extend(maps["domains"][v] for v in other.domain_id)
+        self.day_index.extend(other.day_index)
+        self.timestamp.extend(other.timestamp)
+        self.guard.extend(other.guard)
+        self.origin_id.extend(maps["origins"][v] for v in other.origin_id)
+        base = self.obs_start[-1]
+        self.obs_start.extend(base + v for v in other.obs_start[1:])
+        self.n_valid.extend(other.n_valid)
+        self.min_usd.extend(other.min_usd)
+        self.max_usd.extend(other.max_usd)
+        self.ratio.extend(other.ratio)
+        self.o_vantage_id.extend(
+            maps["vantages"][v] for v in other.o_vantage_id
+        )
+        self.o_country_id.extend(
+            maps["countries"][v] for v in other.o_country_id
+        )
+        self.o_city_id.extend(maps["cities"][v] for v in other.o_city_id)
+        self.o_ok.extend(other.o_ok)
+        self.o_raw_id.extend(maps["raw"][v] for v in other.o_raw_id)
+        self.o_amount.extend(other.o_amount)
+        self.o_currency_id.extend(
+            NO_CURRENCY if v == NO_CURRENCY else maps["currencies"][v]
+            for v in other.o_currency_id
+        )
+        self.o_usd.extend(other.o_usd)
+        self.o_method_id.extend(maps["methods"][v] for v in other.o_method_id)
+        self.o_error_id.extend(maps["errors"][v] for v in other.o_error_id)
+        self._version += len(other)
+        return maps
+
     def __len__(self) -> int:
         return len(self.check_id)
 

@@ -142,3 +142,64 @@ class TestCliAutoDetect:
         assert code == 0
         assert "extent of variation" in out
         assert "Finland profile" in out
+
+
+class TestTornFiles:
+    """Crash artifacts: loads must fail loudly, never misread.
+
+    A process dying mid-write leaves either a torn final line (killed
+    mid-line) or a file truncated at a line boundary (killed between
+    lines).  The first breaks the per-line JSON parse; the second leaves
+    every line valid, and only the header's declared count betrays it.
+    """
+
+    def test_torn_last_line_raises_crawl(self, tiny_ctx, tmp_path: Path):
+        path = tmp_path / "torn.jsonl"
+        dataset_io.save_crawl_dataset(tiny_ctx.crawl, path, columnar=True)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - len(raw.splitlines(True)[-1]) // 2])
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crawl_dataset(path)
+
+    def test_torn_last_line_raises_crowd(self, tiny_ctx, tmp_path: Path):
+        path = tmp_path / "torn.jsonl"
+        dataset_io.save_crowd_dataset(tiny_ctx.crowd, path, columnar=True)
+        path.write_bytes(path.read_bytes()[:-40])
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.load_crowd_dataset(path)
+
+    def test_line_boundary_truncation_raises_crawl_rows(
+        self, tiny_ctx, tmp_path: Path
+    ):
+        path = tmp_path / "short.jsonl"
+        dataset_io.save_crawl_dataset(tiny_ctx.crawl, path)
+        lines = path.read_text().splitlines(True)
+        path.write_text("".join(lines[:-1]))  # every line still valid JSON
+        with pytest.raises(dataset_io.DatasetFormatError, match="declares"):
+            dataset_io.load_crawl_dataset(path)
+
+    def test_line_boundary_truncation_raises_crowd_rows(
+        self, tiny_ctx, tmp_path: Path
+    ):
+        path = tmp_path / "short.jsonl"
+        dataset_io.save_crowd_dataset(tiny_ctx.crowd, path)
+        lines = path.read_text().splitlines(True)
+        path.write_text("".join(lines[:-1]))
+        with pytest.raises(dataset_io.DatasetFormatError, match="declares"):
+            dataset_io.load_crowd_dataset(path)
+
+    def test_kind_detection_does_not_misclassify_torn_files(
+        self, tiny_ctx, tmp_path: Path
+    ):
+        """A torn tail must not flip a file's detected kind -- and a torn
+        *header* must be an error, not a guess."""
+        path = tmp_path / "torn.jsonl"
+        dataset_io.save_crawl_dataset(tiny_ctx.crawl, path, columnar=True)
+        path.write_bytes(path.read_bytes()[:-25])
+        assert dataset_io.dataset_kind(path) == "crawl"
+
+        header_torn = tmp_path / "torn_header.jsonl"
+        full = path.read_bytes()
+        header_torn.write_bytes(full[: full.index(b"\n") // 2])
+        with pytest.raises(dataset_io.DatasetFormatError):
+            dataset_io.dataset_kind(header_torn)

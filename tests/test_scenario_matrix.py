@@ -565,3 +565,58 @@ def test_scenario_full_grid(name):
     assert check_invariants(scenario, results) == []
     digests = {result.digest() for result in results}
     assert len(digests) == 1
+
+
+# ----------------------------------------------------------------------
+# Crash matrix: stateful scenarios through SIGKILL + resume (slow tier)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["session-sticky", "cloaking"])
+def test_stateful_scenario_survives_kill_and_resume(name, tmp_path):
+    """The two stateful scenarios -- session-sticky pricing (per-session
+    cookie state) and cloaking (per-(ip, day) request budgets) -- are
+    exactly the worlds where a resume that loses server/session state
+    would silently change detection.  Kill the checkpointed campaign
+    mid-run with a real SIGKILL, resume it in a fresh process, run the
+    scenario crawl on the resumed world, and the DomainTruth detection
+    scores (and the campaign bytes, and the archive chain) must equal
+    the uninterrupted run's."""
+    from tests.crashkit import run_to_completion, run_until_killed
+
+    def spec(tag: str, **overrides) -> dict:
+        base = {
+            "kind": "scenario",
+            "scenario": name,
+            "seed": SEED,
+            "checkpoint_dir": str(tmp_path / tag / "ckpt"),
+            "out": str(tmp_path / tag / "campaign.jsonl"),
+            "result": str(tmp_path / tag / "result.json"),
+        }
+        base.update(overrides)
+        return base
+
+    reference = run_to_completion(spec("ref"))
+    assert reference["score"]["true_positives"], (
+        f"{name}: reference run detected nothing -- matrix has no teeth"
+    )
+
+    # Kill mid-day (a report just streamed in, the segment is un-durable)
+    # and at a day boundary (mid manifest append) -- both windows where
+    # session/cloak state has advanced past the last durable commit.
+    for tag, point, count in (
+        ("midday", "mid-day", 17),
+        ("boundary", "manifest-mid-write", 2),
+    ):
+        run_until_killed(spec(tag, kill={"point": point, "count": count}))
+        resumed = run_to_completion(spec(tag, resume=True))
+        context = f"{name}/{point}"
+        assert resumed["score"] == reference["score"], (
+            f"{context}: detection scores changed across kill+resume"
+        )
+        assert resumed["out_sha256"] == reference["out_sha256"], (
+            f"{context}: campaign bytes changed across kill+resume"
+        )
+        assert resumed["archive_chain"] == reference["archive_chain"], (
+            f"{context}: archive hash chain diverged across kill+resume"
+        )
+        assert resumed["crawl_rows"] == reference["crawl_rows"]
