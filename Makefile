@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-full coverage scenarios docs-check bench \
-	bench-analysis bench-campaign bench-resume check examples
+	bench-analysis bench-campaign bench-resume bench-multicore check \
+	examples
 
 # Tier-1: the full test suite.
 test:
@@ -67,6 +68,16 @@ RESUME_CHECKS ?= 200000
 bench-resume:
 	$(PYTHON) benchmarks/run_bench.py --only campaign_resume \
 		--resume-checks $(RESUME_CHECKS)
+
+# Just the multicore scaling curve: workers x {local,process} x memo
+# {on,off}, checks/s + per-day boundary overhead + fleet memo misses,
+# byte identity across every cell.  `MULTICORE_FAST=1` runs the reduced
+# 3-cell CI grid to a scratch file, leaving the recorded full-grid
+# numbers in BENCH_pipeline.json untouched.
+bench-multicore:
+	$(PYTHON) benchmarks/run_bench.py --only multicore_scaling \
+		$(if $(MULTICORE_FAST),--multicore-fast --heavy-rounds 2 \
+		--out bench_multicore_ci.json)
 
 # Run every example (docs/EXAMPLES.md shows expected output).
 examples:

@@ -223,6 +223,128 @@ def bench_crawl_day_scaling(rounds: int) -> dict[str, object]:
     return results
 
 
+def bench_multicore_scaling(
+    rounds: int, *, fast: bool = False
+) -> dict[str, object]:
+    """The multicore scaling curve: workers x mode x memo, one crawl day.
+
+    A mixed fleet (4 signature-pure retailers + 2 live-only ones, 6
+    products each) crawled for one day per round under every cell of
+    workers {1,2,4,8} x {local,process} x memo {on,off}.  Per cell:
+    checks/s, fleet-wide burst-memo misses (the coordinator's counters
+    absorb every worker's), and -- for process cells -- the per-day
+    boundary overhead in ms from ``ProcessExecutor.boundary_stats()``
+    ((payload_ms + fold_ms) / batches).  ``workers1_process`` isolates
+    the pure boundary tax: same work as sequential plus one boundary.
+
+    Every cell's reports are asserted byte-identical to the sequential
+    memo-on baseline -- across worker counts, executors, *and* memo
+    settings.  ``fast=True`` runs a 3-cell reduced grid for CI.
+    """
+    import json
+    import os
+
+    from repro.core.backend import SheriffBackend
+    from repro.crawler import CrawlConfig, build_plan, run_crawl
+    from repro.ecommerce.world import WorldConfig, build_world
+    from repro.exec import ExecConfig
+    from repro.io import report_to_dict
+
+    world_config = WorldConfig(catalog_scale=0.2, long_tail_domains=0)
+    probe = build_world(world_config)
+    pure = [d for d in probe.crawled_domains
+            if probe.servers[d].signature_profile() is not None]
+    live = [d for d in probe.crawled_domains
+            if probe.servers[d].signature_profile() is None]
+    domains = sorted(pure[:4] + live[:2])
+    products_per_retailer = 6
+    checks_per_day = len(domains) * products_per_retailer
+
+    if fast:
+        cells = (
+            (1, "local", True),
+            (1, "process", True),
+            (2, "process", True),
+        )
+    else:
+        cells = tuple(
+            (workers, mode, memo)
+            for memo in (True, False)
+            for mode in ("local", "process")
+            for workers in (1, 2, 4, 8)
+        )
+
+    results: dict[str, object] = {
+        "cpu_count": os.cpu_count(),
+        "checks_per_day": checks_per_day,
+        "mixed_fleet": {"pure": len(domains) - len(live[:2]),
+                        "live_only": len(live[:2])},
+    }
+    blobs: dict[str, str] = {}
+    for workers, mode, memo in cells:
+        label = f"workers{workers}_{mode}" + ("" if memo else "_nomemo")
+        world = build_world(world_config)
+        backend = SheriffBackend(
+            world.network, world.vantage_points, world.rates, burst_memo=memo
+        )
+        plan = build_plan(world, domains=domains,
+                          products_per_retailer=products_per_retailer)
+        executor = ExecConfig(workers=workers, mode=mode).create(world)
+        day = iter(range(300, 10_000))
+        datasets = []
+
+        def crawl_once():
+            datasets.append(run_crawl(
+                world, backend, plan,
+                CrawlConfig(days=1, start_day=next(day)),
+                executor=executor,
+            ))
+
+        try:
+            crawl_once()  # warm executor pool / worker worlds, untimed
+            samples = _time_rounds(crawl_once, rounds)
+            entry = _summary(samples)
+            if executor is not None and hasattr(executor, "boundary_stats"):
+                stats = executor.boundary_stats()
+                entry["boundary_overhead_ms_per_day"] = round(
+                    (stats["payload_ms"] + stats["fold_ms"])
+                    / stats["batches"], 3
+                )
+                entry["boundary_ship_bytes_per_day"] = (
+                    stats["ship_bytes"] // stats["batches"]
+                )
+                entry["boundary_recv_bytes_per_day"] = (
+                    stats["recv_bytes"] // stats["batches"]
+                )
+        finally:
+            if executor is not None:
+                executor.close()
+        if any(d.n_extracted_prices != checks_per_day * 14 for d in datasets):
+            raise RuntimeError(f"{label}: crawl lost extractions")
+        blobs[label] = json.dumps(
+            [report_to_dict(r) for d in datasets for r in d.reports],
+            sort_keys=True,
+        )
+        entry["checks_per_second"] = round(
+            checks_per_day / (statistics.fmean(samples) / 1000.0), 2
+        )
+        entry["fleet_burst_misses"] = backend.cache_stats()["burst_misses"]
+        entry["fleet_burst_hits"] = backend.cache_stats()["burst_hits"]
+        results[label] = entry
+
+    baseline = blobs["workers1_local"]
+    if any(blob != baseline for blob in blobs.values()):
+        diverged = [k for k, blob in blobs.items() if blob != baseline]
+        raise RuntimeError(f"cells diverged from sequential bytes: {diverged}")
+    results["byte_identical_across_cells"] = True
+    if not fast:
+        seq = results["workers1_local"]["checks_per_second"]
+        results["process_speedup_at_4_workers"] = round(
+            results["workers4_process"]["checks_per_second"] / seq, 2
+        )
+    return results
+
+
 def bench_crowd_checks(rounds: int) -> dict[str, object]:
     """25 crowd-triggered checks through the extension + backend."""
     from repro.core.backend import SheriffBackend
@@ -706,6 +828,7 @@ BENCHES: dict[str, tuple] = {
     "store_replay": (bench_store_replay, "rounds"),
     "crawl_day": (bench_crawl_day, "heavy"),
     "crawl_day_scaling": (bench_crawl_day_scaling, "heavy"),
+    "multicore_scaling": (bench_multicore_scaling, "heavy"),
     "crowd_checks": (bench_crowd_checks, "heavy"),
     "analysis_aggregation": (bench_analysis_aggregation, "heavy"),
     "campaign_scaling": (bench_campaign_scaling, "heavy"),
@@ -719,6 +842,8 @@ def _bench_kwargs(name: str, args) -> dict:
         return {"n_checks": args.campaign_checks}
     if name == "campaign_resume":
         return {"n_checks": args.resume_checks}
+    if name == "multicore_scaling":
+        return {"fast": args.multicore_fast}
     return {}
 
 
@@ -767,6 +892,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resume-checks", type=int, default=200_000,
                         help="headline check count for campaign_resume "
                              "(default 200000)")
+    parser.add_argument("--multicore-fast", action="store_true",
+                        help="reduced 3-cell grid for multicore_scaling "
+                             "(the CI configuration)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).with_name("BENCH_pipeline.json"))
     args = parser.parse_args(argv)

@@ -38,6 +38,7 @@ from repro.analysis import (
     variation_extent,
 )
 from repro.exec import ExecConfig
+from repro.exec.plan import PLANNERS
 from repro.experiments.context import SCALES, ExperimentContext
 from repro.fx.rates import RateService
 
@@ -59,12 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_exec(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=1,
-                       help="shard fan-out batches across N workers "
-                            "(output is byte-identical at any N; default 1)")
-        p.add_argument("--exec-mode", choices=("local", "process"),
+                       help="shard fan-out batches across N workers; 0 = "
+                            "auto-size from the CPU count (output is "
+                            "byte-identical at any N; default 1)")
+        p.add_argument("--exec-mode", choices=("local", "process", "auto"),
                        default="local",
-                       help="how shards execute: in this process or in a "
-                            "worker-process pool (default: local)")
+                       help="how shards execute: in this process, in "
+                            "dedicated worker processes, or decided from "
+                            "the world's predicted live-work share "
+                            "(default: local)")
+        p.add_argument("--planner", choices=PLANNERS, default="cost",
+                       help="shard planner: cost-aware bin packing or the "
+                            "stable-hash fallback (bytes are identical "
+                            "under either; default: cost)")
 
     def add_checkpoint(p: argparse.ArgumentParser) -> None:
         p.add_argument("--checkpoint-dir", metavar="DIR",
@@ -117,9 +125,10 @@ def _exec_config(args: argparse.Namespace) -> Optional[ExecConfig]:
     """The ExecConfig the flags describe (None = sequential baseline)."""
     workers = getattr(args, "workers", 1)
     mode = getattr(args, "exec_mode", "local")
+    planner = getattr(args, "planner", "cost")
     if workers == 1 and mode == "local":
         return None
-    return ExecConfig(workers=workers, mode=mode)
+    return ExecConfig(workers=workers, mode=mode, planner=planner)
 
 
 # ----------------------------------------------------------------------
@@ -187,7 +196,9 @@ def _cmd_crawl_scenario(args: argparse.Namespace) -> int:
             "(scenario worlds carry their own fixed size)",
             file=sys.stderr,
         )
-    cell = GridCell(mode=args.exec_mode, workers=args.workers)
+    cell = GridCell(
+        mode=args.exec_mode, workers=args.workers, planner=args.planner
+    )
     result = run_cell(scenario, cell, seed=args.seed, keep_dataset=True)
     print(
         f"scenario {scenario.name} [{cell.label}]: "
@@ -196,16 +207,14 @@ def _cmd_crawl_scenario(args: argparse.Namespace) -> int:
     )
     for line in result.score.summary_lines():
         print(f"  {line}")
-    if cell.mode == "local":
-        stats = result.memo_stats
-        print(
-            f"  memo: {stats['hits']} hits / {stats['misses']} misses; "
-            f"live-only: {sorted(result.live_only) or 'none'}"
-        )
-    else:
-        # Process workers grow private burst caches; the coordinator's
-        # counters say nothing about what the workers served.
-        print("  memo: served inside worker processes (no coordinator telemetry)")
+    # Fleet-wide memo telemetry: under --exec-mode process the workers
+    # drain their cache counters back through the shard results and the
+    # coordinator absorbs them, so these numbers cover every worker.
+    stats = result.memo_stats
+    print(
+        f"  memo: {stats['hits']} hits / {stats['misses']} misses; "
+        f"live-only: {sorted(result.live_only) or 'none'}"
+    )
     problems = check_invariants(scenario, [result])
     for line in problems:
         print(f"  INVARIANT VIOLATED: {line}")

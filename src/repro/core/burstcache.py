@@ -175,6 +175,10 @@ class _DomainState:
     key_signals: frozenset[str] = frozenset()
     verify_signals: frozenset[str] = frozenset()
     live_reason: str = ""
+    #: True when live-only by *evidence* (a probe caught the policy, or a
+    #: checkpoint / another worker proved it) rather than by structural
+    #: classification -- only evidence propagates across caches.
+    demoted: bool = False
     entries: "OrderedDict[tuple, BurstEntry]" = field(
         default_factory=OrderedDict
     )
@@ -226,6 +230,11 @@ class BurstCache:
         self._bypass_live_only = 0
         self._bypass_unreachable = 0
         self._bypass_non_product = 0
+        # Sharing journals (see "Sharing caches across processes"): what
+        # this cache learned since the last drain_updates() call.
+        self._journal_entries: list[tuple[str, tuple]] = []
+        self._journal_demotions: dict[str, str] = {}
+        self._counter_base: dict[str, int] = self._counters()
 
     # ------------------------------------------------------------------
     # The per-check decision
@@ -395,6 +404,7 @@ class BurstCache:
         while len(state.entries) > self.max_entries_per_domain:
             state.entries.popitem(last=False)
         self._stores += 1
+        self._journal_entries.append((plan.domain, plan.key))
 
     def _burst_is_clean(
         self,
@@ -447,8 +457,10 @@ class BurstCache:
         state = self._domains[domain]
         state.server = None
         state.live_reason = reason
+        state.demoted = True
         state.entries.clear()
         self._demotions += 1
+        self._journal_demotions[domain] = reason
 
     def restore_live_only(self, demoted: dict[str, str]) -> None:
         """Re-apply live-only verdicts captured by a checkpoint.
@@ -461,15 +473,160 @@ class BurstCache:
         memo's trust decisions monotone across a kill.
         """
         for domain, reason in demoted.items():
+            self.fold_demotion(domain, reason)
+
+    # ------------------------------------------------------------------
+    # Sharing caches across processes
+    # ------------------------------------------------------------------
+    # A shard worker's cache and the coordinator's master cache stay in
+    # sync through three primitives: the worker *drains* what it learned
+    # (new entries, demotions, counter deltas), the coordinator *folds*
+    # entries/demotions into the master (and later ships them to other
+    # workers, demotions first), and *absorbs* the counter deltas so its
+    # own ``stats()`` reports fleet-wide truth.  Folding never journals
+    # or bumps counters -- every store, hit, and demotion is counted
+    # exactly once, by the cache where it actually happened.
+    _COUNTER_ATTRS = {
+        "hits": "_hits",
+        "misses": "_misses",
+        "stores": "_stores",
+        "store_skips": "_store_skips",
+        "validations": "_validations",
+        "demotions": "_demotions",
+        "bypass_live_only": "_bypass_live_only",
+        "bypass_unreachable": "_bypass_unreachable",
+        "bypass_non_product": "_bypass_non_product",
+    }
+
+    def _counters(self) -> dict[str, int]:
+        return {
+            name: getattr(self, attr)
+            for name, attr in self._COUNTER_ATTRS.items()
+        }
+
+    def predicts_hits(self, backend: "SheriffBackend", domain: str) -> bool:
+        """Planner hook: would repeats of one burst against ``domain`` hit?
+
+        True exactly when the cache would consider storing for the
+        domain -- enabled, a reachable retailer server, a pure signature
+        profile, not demoted.  Classification is the same (memoized)
+        :meth:`plan` uses, so asking is cheap and side-effect-free
+        beyond populating the domain-state table a real check would
+        populate anyway.
+        """
+        if not self.enabled:
+            return False
+        return not self._domain_state(backend, domain).live_only
+
+    def drain_updates(self) -> dict:
+        """Everything this cache learned since the last drain.
+
+        Returns ``{"entries": [(domain, key, entry), ...], "demotions":
+        {domain: reason}, "counters": {name: delta}}`` and resets the
+        journals.  Journaled entries evicted or demoted away in the
+        meantime are silently dropped (they are recomputable; shipping
+        them would resurrect state the LRU or a probe already killed).
+        """
+        entries: list[tuple[str, tuple, BurstEntry]] = []
+        emitted: set[tuple[str, tuple]] = set()
+        for domain, key in self._journal_entries:
+            if (domain, key) in emitted:
+                continue
             state = self._domains.get(domain)
-            if state is None:
-                self._domains[domain] = _DomainState(
-                    server=None, live_reason=reason
-                )
-            elif not state.live_only:
-                state.server = None
-                state.live_reason = reason
-                state.entries.clear()
+            if state is None or state.live_only:
+                continue
+            entry = state.entries.get(key)
+            if entry is None:
+                continue
+            emitted.add((domain, key))
+            entries.append((domain, key, entry))
+        counters = self._counters()
+        deltas = {
+            name: counters[name] - self._counter_base.get(name, 0)
+            for name in counters
+        }
+        updates = {
+            "entries": entries,
+            "demotions": dict(self._journal_demotions),
+            "counters": {k: v for k, v in deltas.items() if v},
+        }
+        self._journal_entries.clear()
+        self._journal_demotions.clear()
+        self._counter_base = counters
+        return updates
+
+    def fold_entry(
+        self,
+        backend: "SheriffBackend",
+        domain: str,
+        key: tuple,
+        entry: BurstEntry,
+    ) -> bool:
+        """Import an entry another cache verified live (no counters).
+
+        Respects this cache's own view: a disabled cache or a domain it
+        classifies (or has demoted to) live-only rejects the import --
+        demotions always win over entries, which is why callers must
+        fold a batch's demotions first.  The per-domain LRU cap applies
+        as if the entry had been stored locally.
+        """
+        if not self.enabled:
+            return False
+        state = self._domain_state(backend, domain)
+        if state.live_only:
+            return False
+        state.entries[key] = entry
+        state.entries.move_to_end(key)
+        while len(state.entries) > self.max_entries_per_domain:
+            state.entries.popitem(last=False)
+        return True
+
+    def fold_demotion(self, domain: str, reason: str) -> None:
+        """Apply a demotion proven elsewhere (worker drain or checkpoint).
+
+        Does not bump the demotion counter -- the cache that caught the
+        policy already counted it; this is propagation, not discovery.
+        """
+        state = self._domains.get(domain)
+        if state is None:
+            self._domains[domain] = _DomainState(
+                server=None, live_reason=reason, demoted=True
+            )
+        elif not state.live_only:
+            state.server = None
+            state.live_reason = reason
+            state.entries.clear()
+            state.demoted = True
+        else:
+            state.demoted = True
+
+    def absorb_counters(self, deltas: dict) -> None:
+        """Add a drained counter delta to this cache's own counters."""
+        for name, delta in deltas.items():
+            attr = self._COUNTER_ATTRS.get(name)
+            if attr is not None:
+                setattr(self, attr, getattr(self, attr) + int(delta))
+
+    def demoted_domains(self) -> dict[str, str]:
+        """domain -> reason, for evidence-based demotions only.
+
+        The propagation-worthy subset of :meth:`live_only_domains`:
+        structurally live-only retailers are reclassified identically by
+        every cache on its own, but demotions are evidence that must
+        travel.
+        """
+        return {
+            domain: state.live_reason
+            for domain, state in sorted(self._domains.items())
+            if state.demoted
+        }
+
+    def entries_for(self, domain: str) -> list[tuple[tuple, BurstEntry]]:
+        """Snapshot of one domain's entries in LRU order (oldest first)."""
+        state = self._domains.get(domain)
+        if state is None or state.live_only:
+            return []
+        return list(state.entries.items())
 
     # ------------------------------------------------------------------
     # Introspection

@@ -5,11 +5,15 @@ The paper's workload is a day-batched fan-out: ~200K fetches across
 day's batch across N workers while keeping every report byte-identical
 to the sequential loop:
 
-* :class:`~repro.exec.plan.ShardPlan` -- stable-hash partition of the
-  batch by retailer, so each shard owns disjoint retailer/session state;
-* :class:`~repro.exec.plan.ExecConfig` -- the ``workers``/``mode`` knob
-  carried by :func:`repro.crawler.run_crawl`,
-  :func:`repro.crowd.run_campaign`, and the CLI's ``--workers``;
+* :class:`~repro.exec.plan.CostAwarePlanner` -- the default planner:
+  partitions the batch by retailer, bin-packing retailers onto shards so
+  predicted per-shard cost (live fan-outs vs memo hits) equalizes;
+* :class:`~repro.exec.plan.ShardPlan` -- the stable-hash fallback
+  planner; each shard still owns disjoint retailer/session state;
+* :class:`~repro.exec.plan.ExecConfig` -- the ``workers``/``mode``/
+  ``planner`` knob carried by :func:`repro.crawler.run_crawl`,
+  :func:`repro.crowd.run_campaign`, and the CLI's ``--workers``
+  (``--workers 0`` auto-sizes from ``os.cpu_count()``);
 * :class:`~repro.exec.local.LocalExecutor` -- in-process execution, the
   default and the determinism test baseline;
 * :class:`~repro.exec.process.ProcessExecutor` -- multiprocessing
@@ -22,13 +26,21 @@ byte-identity guarantee hold.
 """
 
 from repro.exec.local import LocalExecutor
-from repro.exec.plan import ExecConfig, ExecError, ShardPlan
+from repro.exec.plan import (
+    CostAwarePlanner,
+    ExecConfig,
+    ExecError,
+    ShardPlan,
+    make_planner,
+)
 from repro.exec.process import ProcessExecutor
 
 __all__ = [
+    "CostAwarePlanner",
     "ExecConfig",
     "ExecError",
     "LocalExecutor",
     "ProcessExecutor",
     "ShardPlan",
+    "make_planner",
 ]

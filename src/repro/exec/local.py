@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from repro.exec.plan import ShardPlan
+from repro.exec.plan import make_planner
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.backend import ScheduledCheck, SheriffBackend
@@ -54,8 +54,8 @@ def merge_in_plan_order(
 class LocalExecutor:
     """Run shards sequentially in-process, merging deterministically."""
 
-    def __init__(self, workers: int = 1, *, plan: Optional[ShardPlan] = None) -> None:
-        self.plan = plan or ShardPlan(workers)
+    def __init__(self, workers: int = 1, *, plan=None) -> None:
+        self.plan = plan or make_planner("cost", workers)
 
     def run(
         self,
@@ -66,7 +66,7 @@ class LocalExecutor:
     ) -> list["PriceCheckReport"]:
         """Execute every schedule entry, shard by shard, and merge."""
         merged: dict[int, tuple["PriceCheckReport", list[dict]]] = {}
-        for shard in self.plan.partition(scheduled):
+        for shard in self.plan.partition_batch(backend, scheduled):
             for sched in shard:
                 archives: list[dict] = []
                 report = backend.run_scheduled_check(

@@ -1,39 +1,54 @@
 """Multi-process shard execution.
 
-:class:`ProcessExecutor` fans a batch's shards out to a persistent pool
-of worker processes.  A worker never receives live simulation objects --
-no DOM trees, servers, or networks cross the process boundary.  Instead
-it receives:
+:class:`ProcessExecutor` fans a batch's shards out to **dedicated**
+persistent worker processes -- worker *i* always executes shard *i*, over
+a private pipe, for the executor's whole lifetime.  A worker never
+receives live simulation objects -- no DOM trees, servers, or networks
+cross the process boundary.  Instead it receives:
 
 * the world's :class:`~repro.ecommerce.world.WorldSpec` (a few config
-  primitives) from which it regrows an equivalent world once per process
-  and caches it,
+  primitives, shipped on the worker's first batch only) from which it
+  regrows an equivalent world once per process and caches it,
 * the shard's :class:`~repro.core.backend.ScheduledCheck` slice (URLs,
   anchors, pre-assigned check ids and start times), and
-* the shard's *session state*: each vantage point's cookies for the
-  shard's domains and each owned retailer server's
-  :meth:`~repro.ecommerce.retailer.RetailerServer.session_state` dict
-  (request counter; stateful scenario servers add their own fields).
+* **deltas** of everything stateful: per-domain session state (each
+  vantage point's cookies for the domain plus the retailer server's
+  :meth:`~repro.ecommerce.retailer.RetailerServer.session_state` dict)
+  only for domains whose state changed since the worker last saw them,
+  and the master burst memo's new entries/demotions for the shard's
+  domains.
 
 Because every stochastic draw in the simulation is keyed by request
 identity rather than arrival order (see ``docs/ARCHITECTURE.md``), the
 rebuilt world plus the restored session state reproduce each check
-bit-for-bit.  The worker sends back reports, buffered archive calls, and
-the post-batch session state; the coordinator folds the state into its
-own world and replays archives in plan order, so the next day's batch
-starts from exactly the history a sequential run would have written.
+bit-for-bit.  The worker sends back reports, archives in compact form
+(page bodies travel once per worker, by content hash), the post-batch
+session-state *deltas*, and what its burst cache learned --
+new entries, demotions, counter deltas.  The coordinator folds the
+session state into its own world, folds the memo updates into the master
+:class:`~repro.core.burstcache.BurstCache` (so the next batch ships them
+to every other worker and ``stats()`` counts the whole fleet), and
+replays archives in plan order: the next day's batch starts from exactly
+the history a sequential run would have written.
+
+All boundary pickles use the highest protocol;
+:meth:`ProcessExecutor.boundary_stats` reports how much time and traffic
+the boundary actually cost.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import pickle
 import sys
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.ecommerce.world import WorldSpec
 from repro.exec.local import merge_in_plan_order
-from repro.exec.plan import ExecError, ShardPlan
+from repro.exec.plan import ExecError, make_planner
 from repro.net.urls import URL
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,15 +59,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["ProcessExecutor"]
 
-#: Per-process memo of rebuilt worlds: spec -> (world, backend).  A pool
-#: worker serves many shard tasks over a crawl's lifetime; the expensive
-#: regrow from the spec happens once per (process, spec).
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Per-process memo of rebuilt worlds: spec -> (world, backend).  A
+#: dedicated worker serves many shard batches over a crawl's lifetime;
+#: the expensive regrow from the spec happens once per (process, spec).
 _WORKER_WORLDS: dict[WorldSpec, tuple] = {}
+
+#: Cumulative world builds in this process -- the coordinator surfaces it
+#: per worker (:meth:`ProcessExecutor.worker_worlds_built`) so tests can
+#: pin "regrown exactly once".
+_WORLDS_BUILT = 0
+
+#: Worker side of the archive dedup: content hashes already shipped to
+#: the coordinator.  A page body crosses the boundary at most once per
+#: worker process; later archives reference it by hash.
+_SHIPPED_HASHES: set[bytes] = set()
+
+#: Worker side of the session-state dedup: domain -> last blob this
+#: worker either received from the coordinator or reported back.  Only
+#: domains whose post-batch blob differs are returned.
+_SESSION_BLOBS: dict[str, bytes] = {}
+
+#: The spec this dedicated worker serves.  A worker belongs to exactly
+#: one executor (one world), so the coordinator ships the spec on the
+#: first batch only and ``None`` thereafter.
+_CURRENT_SPEC: Optional[WorldSpec] = None
 
 
 def _worker_world(spec: WorldSpec):
     from repro.core.backend import SheriffBackend
 
+    global _WORLDS_BUILT
     cached = _WORKER_WORLDS.get(spec)
     if cached is None:
         world = spec.build()
@@ -61,87 +99,215 @@ def _worker_world(spec: WorldSpec):
         )
         cached = (world, backend)
         _WORKER_WORLDS[spec] = cached
+        _WORLDS_BUILT += 1
     return cached
 
 
-def _install_session_state(
-    fleet, servers, domains, jar_snapshots, server_states
-) -> None:
-    """Install a shard's session state: the one definition of "state".
+def _page_hash(html: str) -> bytes:
+    return hashlib.blake2b(html.encode("utf-8"), digest_size=16).digest()
 
-    Used identically on both sides of the process boundary -- the worker
-    restores the coordinator's pre-batch state, the coordinator folds the
-    worker's post-batch state back in.  Per-retailer state travels as the
-    server's own :meth:`~repro.ecommerce.retailer.RetailerServer.
-    session_state` dict, so a stateful server subclass (the scenario
-    layer's cloaking server tracks per-IP request rates) extends the SPI
-    once and both sides of the boundary pick it up -- anything stateful
-    that bypasses the SPI silently diverges between worker and
-    coordinator.
+
+# ----------------------------------------------------------------------
+# Session state: the one definition of "state", as a per-domain blob
+# ----------------------------------------------------------------------
+def _domain_blob(fleet, servers, domain: str) -> bytes:
+    """One domain's session state, canonically pickled.
+
+    Blob equality is the boundary's change detector, so both sides must
+    build it identically: the fleet's cookie snapshots for the domain in
+    fleet order, then the owning server's
+    :meth:`~repro.ecommerce.retailer.RetailerServer.session_state` dict
+    (``None`` for non-retailer domains).  A stateful server subclass
+    extends the SPI once and both sides of the boundary pick it up --
+    anything stateful that bypasses the SPI silently diverges between
+    worker and coordinator.
     """
-    for vantage, snapshot in zip(fleet, jar_snapshots):
-        for domain in domains:
-            vantage.jar.clear(domain)
+    jars = [vantage.jar.snapshot(hosts={domain}) for vantage in fleet]
+    server = servers.get(domain)
+    state = server.session_state() if server is not None else None
+    return pickle.dumps((jars, state), protocol=_PROTOCOL)
+
+
+def _install_domain_blob(fleet, servers, domain: str, blob: bytes) -> None:
+    """Install one domain's session state from its blob (either side)."""
+    jars, state = pickle.loads(blob)
+    for vantage, snapshot in zip(fleet, jars):
+        vantage.jar.clear(domain)
         vantage.jar.restore(snapshot)
-    for domain, state in server_states.items():
+    if state is not None:
         server = servers.get(domain)
         if server is not None:
             server.restore_session_state(state)
 
 
-def _run_shard(payload: dict) -> tuple[list, list, dict]:
-    """Execute one shard in a worker process (module-level: picklable).
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _run_shard(payload: dict) -> dict:
+    """Execute one shard batch in a worker process.
 
-    Returns ``(results, jar_snapshots, server_states)`` where results are
-    ``(index, report, archive_calls)`` triples and the snapshots/states
-    are the shard's post-batch session state.
+    Returns reports with compact archives (``(vantage, timestamp,
+    content hash)`` triples plus any page bodies not yet shipped), the
+    post-batch session-state deltas, and the worker cache's drained
+    updates.
     """
-    spec: WorldSpec = payload["spec"]
+    global _CURRENT_SPEC
+    spec: Optional[WorldSpec] = payload["spec"]
+    if spec is None:
+        spec = _CURRENT_SPEC
+        if spec is None:  # pragma: no cover - coordinator bug
+            raise RuntimeError("shard payload omitted the spec before "
+                               "this worker ever received one")
+    else:
+        _CURRENT_SPEC = spec
     tasks: list = payload["tasks"]
-    domains: set[str] = set(payload["domains"])
+    domains: list[str] = payload["domains"]
     world, backend = _worker_world(spec)
     fleet = world.vantage_points
-    # Mirror the coordinator's burst-memo configuration.  Each worker
-    # grows its own cache (warmth affects speed, never bytes -- a hit is
-    # byte-identical to the live fan-out by construction), so only the
-    # knobs cross the process boundary, never entries.
-    memo = payload.get("burst_memo", {})
+    # Mirror the coordinator's burst-memo configuration; entries and
+    # demotions arrive as explicit deltas below.
+    memo = payload["burst_memo"]
     cache = backend.burst_cache
-    cache.enabled = memo.get("enabled", True)
-    cache.validate_fraction = memo.get("validate_fraction", 0.0)
-    cache.max_entries_per_domain = memo.get("max_entries_per_domain", 1024)
+    cache.enabled = memo["enabled"]
+    cache.validate_fraction = memo["validate_fraction"]
+    cache.max_entries_per_domain = memo["max_entries_per_domain"]
 
-    # Restore the shard's session state; wipe whatever a previous task
-    # left for these domains (tasks from other shards never touch them).
-    _install_session_state(
-        fleet, world.servers, domains,
-        payload["jar_snapshots"], payload["server_states"],
-    )
+    # Fold the master cache's news -- demotions strictly first, so an
+    # entry can never survive (or arrive for) a domain another worker
+    # proved impure.
+    for domain, reason in payload["memo_demotions"].items():
+        cache.fold_demotion(domain, reason)
+    for domain, key, entry in payload["memo_entries"]:
+        cache.fold_entry(backend, domain, key, entry)
+
+    # Install the session-state deltas; untouched domains already hold
+    # exactly the state this worker left (or reported) last batch.
+    for domain, blob in payload["session"].items():
+        _install_domain_blob(fleet, world.servers, domain, blob)
+        _SESSION_BLOBS[domain] = blob
+    for domain in domains:
+        if domain not in _SESSION_BLOBS:
+            _SESSION_BLOBS[domain] = _domain_blob(
+                fleet, world.servers, domain
+            )
 
     results = []
+    new_pages: dict[bytes, str] = {}
     for sched in tasks:
-        archives: list[dict] = []
-        report = backend.run_scheduled_check(
-            sched, fleet, lambda **kwargs: archives.append(kwargs)
-        )
+        archives: list[tuple] = []
+
+        def archive(*, check_id, url, domain, vantage, timestamp, html):
+            digest = _page_hash(html)
+            if digest not in _SHIPPED_HASHES:
+                _SHIPPED_HASHES.add(digest)
+                new_pages[digest] = html
+            archives.append((vantage, timestamp, digest))
+
+        report = backend.run_scheduled_check(sched, fleet, archive)
         results.append((sched.index, report, archives))
 
-    jar_snapshots = [vantage.jar.snapshot(hosts=domains) for vantage in fleet]
-    server_states = {
-        domain: world.servers[domain].session_state()
-        for domain in payload["server_states"]
+    session_out: dict[str, bytes] = {}
+    for domain in domains:
+        blob = _domain_blob(fleet, world.servers, domain)
+        if blob != _SESSION_BLOBS.get(domain):
+            session_out[domain] = blob
+            _SESSION_BLOBS[domain] = blob
+    return {
+        "results": results,
+        "pages": new_pages,
+        "session": session_out,
+        "memo": cache.drain_updates(),
+        "worlds_built": _WORLDS_BUILT,
     }
-    return results, jar_snapshots, server_states
+
+
+def _reset_worker_state() -> None:
+    """Start a worker process from a clean slate.
+
+    Under the fork start method the child inherits this module's
+    globals from the coordinator process -- including state left behind
+    by any in-process `_run_shard` call (tests do this).  An inherited
+    `_SHIPPED_HASHES` entry would make the worker skip shipping a page
+    body the coordinator never received; an inherited world would carry
+    foreign session state.  Everything per-process starts empty.
+    """
+    global _WORLDS_BUILT, _CURRENT_SPEC
+    _WORKER_WORLDS.clear()
+    _SHIPPED_HASHES.clear()
+    _SESSION_BLOBS.clear()
+    _WORLDS_BUILT = 0
+    _CURRENT_SPEC = None
+
+
+def _worker_main(conn) -> None:
+    """Dedicated worker loop: receive a payload, run the shard, reply.
+
+    Exceptions travel back pickled (falling back to a stringified
+    traceback when the exception itself will not pickle) so the
+    coordinator re-raises the real type --
+    :class:`~repro.core.burstcache.BurstCacheDivergence` stays loud
+    across the boundary.
+    """
+    _reset_worker_state()
+    try:
+        while True:
+            try:
+                blob = conn.recv_bytes()
+            except EOFError:
+                break
+            payload = pickle.loads(blob)
+            if payload is None:
+                break
+            try:
+                result = _run_shard(payload)
+            except BaseException as exc:  # noqa: BLE001 - relayed, not hidden
+                try:
+                    reply = pickle.dumps({"error": exc}, protocol=_PROTOCOL)
+                except Exception:
+                    reply = pickle.dumps(
+                        {"error": RuntimeError(traceback.format_exc())},
+                        protocol=_PROTOCOL,
+                    )
+                conn.send_bytes(reply)
+                continue
+            conn.send_bytes(pickle.dumps(result, protocol=_PROTOCOL))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class _WorkerHandle:
+    """The coordinator's ledger of exactly what one worker holds."""
+
+    __slots__ = ("proc", "conn", "session", "held_keys", "demotions",
+                 "worlds_built", "spec_sent")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        #: whether the worker has received the world spec (first batch).
+        self.spec_sent = False
+        #: domain -> session blob the worker currently holds.
+        self.session: dict[str, bytes] = {}
+        #: domain -> memo keys the worker is believed to hold.  An LRU
+        #: eviction on the worker can make this optimistic; the cost of
+        #: being wrong is one redundant live fan-out, never wrong bytes.
+        self.held_keys: dict[str, set] = {}
+        #: demotions the worker already knows about.
+        self.demotions: set[str] = set()
+        self.worlds_built = 0
 
 
 class ProcessExecutor:
     """Execute shards in parallel worker processes, merge deterministically.
 
-    The executor holds a persistent process pool; create it once per
-    crawl/campaign (``ExecConfig.create`` does) and :meth:`close` it when
-    done -- it is also a context manager.  Requires a world built by
-    :func:`~repro.ecommerce.world.build_world` (workers regrow it from the
-    spec) and the world's own vantage fleet.
+    The executor holds one dedicated worker process per shard; create it
+    once per crawl/campaign (``ExecConfig.create`` does) and
+    :meth:`close` it when done -- it is also a context manager.  Requires
+    a world built by :func:`~repro.ecommerce.world.build_world` (workers
+    regrow it from the spec) and the world's own vantage fleet.
     """
 
     def __init__(
@@ -149,22 +315,40 @@ class ProcessExecutor:
         world: "World",
         workers: int = 4,
         *,
-        plan: Optional[ShardPlan] = None,
+        plan=None,
         start_method: Optional[str] = None,
     ) -> None:
         self._world = world
         self._spec = world.spec()
-        self.plan = plan or ShardPlan(workers)
+        self.plan = plan or make_planner("cost", workers)
         # fork is the fast path (no re-import) but is only safe where it
         # is the platform default; macOS deliberately switched to spawn
         # (fork-without-exec crashes), so prefer it only on Linux.
         method = start_method or (
             "fork" if sys.platform == "linux" else "spawn"
         )
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.plan.workers,
-            mp_context=multiprocessing.get_context(method),
-        )
+        ctx = multiprocessing.get_context(method)
+        self._handles: list[_WorkerHandle] = []
+        for i in range(self.plan.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                daemon=True,
+                name=f"repro-exec-worker-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._handles.append(_WorkerHandle(proc, parent_conn))
+        self._closed = False
+        # Coordinator side of the archive dedup: content hash -> body,
+        # across every worker and every batch of this executor.
+        self._pages: dict[bytes, str] = {}
+        self._batches = 0
+        self._payload_ms = 0.0
+        self._fold_ms = 0.0
+        self._ship_bytes = 0
+        self._recv_bytes = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -174,66 +358,174 @@ class ProcessExecutor:
         fleet: Sequence["VantagePoint"],
         sink: Optional[Callable[["PriceCheckReport"], None]] = None,
     ) -> list["PriceCheckReport"]:
-        """Dispatch shards to the pool and merge results in plan order."""
+        """Dispatch shards to the workers and merge results in plan order."""
         expected = [vp.name for vp in self._world.vantage_points]
         if [vp.name for vp in fleet] != expected:
             raise ExecError(
                 "ProcessExecutor can only fan out over the world's own "
                 "vantage fleet (workers rebuild that fleet from the spec)"
             )
-        submitted = []
-        for shard in self.plan.partition(scheduled):
+        cache = backend.burst_cache
+        shards = self.plan.partition_batch(backend, scheduled)
+        t0 = time.perf_counter()
+        demoted = cache.demoted_domains()
+        sent: list[tuple[int, list["ScheduledCheck"]]] = []
+        for shard_index, shard in enumerate(shards):
             if not shard:
                 continue
+            handle = self._handles[shard_index]
             domains = sorted(
                 {URL.parse(sched.request.url).host for sched in shard}
             )
+            session: dict[str, bytes] = {}
+            for domain in domains:
+                blob = _domain_blob(fleet, self._world.servers, domain)
+                if handle.session.get(domain) != blob:
+                    session[domain] = blob
+                    handle.session[domain] = blob
+            memo_demotions: dict[str, str] = {}
+            memo_entries: list[tuple] = []
+            if cache.enabled:
+                for domain in domains:
+                    if domain in demoted:
+                        if domain not in handle.demotions:
+                            memo_demotions[domain] = demoted[domain]
+                            handle.demotions.add(domain)
+                            handle.held_keys.pop(domain, None)
+                        continue
+                    held = handle.held_keys.setdefault(domain, set())
+                    for key, entry in cache.entries_for(domain):
+                        if key not in held:
+                            memo_entries.append((domain, key, entry))
+                            held.add(key)
             payload = {
-                "spec": self._spec,
+                # The spec crosses the boundary once per worker.
+                "spec": None if handle.spec_sent else self._spec,
                 "tasks": shard,
                 "domains": domains,
                 "burst_memo": {
-                    "enabled": backend.burst_cache.enabled,
-                    "validate_fraction": backend.burst_cache.validate_fraction,
-                    "max_entries_per_domain":
-                        backend.burst_cache.max_entries_per_domain,
+                    "enabled": cache.enabled,
+                    "validate_fraction": cache.validate_fraction,
+                    "max_entries_per_domain": cache.max_entries_per_domain,
                 },
-                "jar_snapshots": [
-                    vantage.jar.snapshot(hosts=set(domains))
-                    for vantage in fleet
-                ],
-                "server_states": {
-                    domain: self._world.servers[domain].session_state()
-                    for domain in domains
-                    if domain in self._world.servers
-                },
+                "session": session,
+                "memo_demotions": memo_demotions,
+                "memo_entries": memo_entries,
             }
-            submitted.append((domains, self._pool.submit(_run_shard, payload)))
+            blob = pickle.dumps(payload, protocol=_PROTOCOL)
+            self._ship_bytes += len(blob)
+            handle.conn.send_bytes(blob)
+            handle.spec_sent = True
+            sent.append((shard_index, shard))
+        self._payload_ms += (time.perf_counter() - t0) * 1000.0
 
         merged: dict[int, tuple["PriceCheckReport", list[dict]]] = {}
-        for domains, future in submitted:
-            results, jar_snapshots, server_states = future.result()
-            for index, report, archives in results:
-                merged[index] = (report, archives)
+        for shard_index, shard in sent:
+            handle = self._handles[shard_index]
+            try:
+                blob = handle.conn.recv_bytes()
+            except EOFError:
+                raise ExecError(
+                    f"worker {shard_index} died mid-batch "
+                    f"(exit code {handle.proc.exitcode})"
+                ) from None
+            self._recv_bytes += len(blob)
+            t1 = time.perf_counter()
+            result = pickle.loads(blob)
+            error = result.get("error")
+            if error is not None:
+                raise error
+            self._pages.update(result["pages"])
+            for sched, (index, report, archives) in zip(
+                shard, result["results"]
+            ):
+                url = URL.parse(sched.request.url)
+                url_text = str(url)
+                merged[index] = (report, [
+                    {
+                        "check_id": sched.check_id,
+                        "url": url_text,
+                        "domain": url.host,
+                        "vantage": vantage,
+                        "timestamp": timestamp,
+                        "html": self._pages[digest],
+                    }
+                    for vantage, timestamp, digest in archives
+                ])
             # Fold the shard's post-batch session state back in, so the
             # coordinator's world is as-if it had run the shard itself.
-            _install_session_state(
-                fleet, self._world.servers, domains,
-                jar_snapshots, server_states,
-            )
+            for domain, state_blob in result["session"].items():
+                _install_domain_blob(
+                    fleet, self._world.servers, domain, state_blob
+                )
+                handle.session[domain] = state_blob
+            # Fold the worker's memo news into the master cache:
+            # demotions first (they kill entries), then entries, then
+            # counters -- after which the coordinator's stats() speak
+            # for the whole fleet.
+            memo = result["memo"]
+            for domain, reason in memo["demotions"].items():
+                cache.fold_demotion(domain, reason)
+                handle.demotions.add(domain)
+                handle.held_keys.pop(domain, None)
+            for domain, key, entry in memo["entries"]:
+                if cache.fold_entry(backend, domain, key, entry):
+                    handle.held_keys.setdefault(domain, set()).add(key)
+            cache.absorb_counters(memo["counters"])
+            handle.worlds_built = result["worlds_built"]
+            self._fold_ms += (time.perf_counter() - t1) * 1000.0
+        self._batches += 1
         return merge_in_plan_order(backend, scheduled, merged, sink)
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def boundary_stats(self) -> dict[str, float]:
+        """What the process boundary cost so far (coordinator side).
+
+        ``payload_ms`` is time spent building + serializing + sending
+        payloads; ``fold_ms`` is time spent deserializing and folding
+        results (session state, memo updates, archive reconstruction);
+        ``ship_bytes``/``recv_bytes`` are the raw pickle traffic.
+        Divide by ``batches`` for per-day overhead.
+        """
+        return {
+            "batches": self._batches,
+            "payload_ms": round(self._payload_ms, 3),
+            "fold_ms": round(self._fold_ms, 3),
+            "ship_bytes": self._ship_bytes,
+            "recv_bytes": self._recv_bytes,
+        }
+
+    def worker_worlds_built(self) -> list[int]:
+        """Per-worker cumulative world regrows (as of each last batch)."""
+        return [handle.worlds_built for handle in self._handles]
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        self._pool.shutdown(wait=True)
+        """Shut the dedicated workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        sentinel = pickle.dumps(None, protocol=_PROTOCOL)
+        for handle in self._handles:
+            try:
+                handle.conn.send_bytes(sentinel)
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._handles:
+            handle.proc.join(timeout=10)
+            if handle.proc.is_alive():  # pragma: no cover - defensive
+                handle.proc.terminate()
+                handle.proc.join(timeout=10)
+            handle.conn.close()
 
     def __enter__(self) -> "ProcessExecutor":
         """Context-manager entry: the executor itself."""
         return self
 
     def __exit__(self, *exc_info) -> None:
-        """Context-manager exit: release the pool."""
+        """Context-manager exit: release the workers."""
         self.close()
 
     def __repr__(self) -> str:

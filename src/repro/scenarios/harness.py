@@ -67,19 +67,25 @@ class GridCell:
     #: Fraction of memo hits re-run live for cross-validation (only
     #: meaningful with the memo on; 1.0 = audit every hit).
     validate_fraction: float = 0.0
+    #: Shard planner ("cost" or "stable") -- wall clock only, never bytes.
+    planner: str = "cost"
 
     @property
     def label(self) -> str:
         memo = "memo" if self.burst_memo else "live"
         if self.validate_fraction:
             memo += f"+audit{self.validate_fraction:g}"
+        if self.planner != "cost":
+            memo += f"/{self.planner}"
         return f"{self.mode}x{self.workers}/{memo}"
 
     def exec_config(self) -> Optional[ExecConfig]:
         """The executor config this cell runs under (None = inline)."""
         if self.workers == 1 and self.mode == "local":
             return None
-        return ExecConfig(workers=self.workers, mode=self.mode)
+        return ExecConfig(
+            workers=self.workers, mode=self.mode, planner=self.planner
+        )
 
 
 #: The acceptance grid: executor(local/process, N in {1, 2}) × memo
@@ -288,13 +294,19 @@ def check_invariants(
     # demoted to the live path (an unexpected demotion means a
     # supposedly memoizable behaviour regressed, turning the memo-on vs
     # memo-off comparison vacuous), and the memo actually served hits
-    # whenever the scenario has memoizable retailers.  Only local cells
-    # are inspectable here -- their checks run on the coordinator's own
-    # burst cache; process workers grow private caches whose correctness
-    # the byte-identity comparison above already pins down.
+    # whenever the scenario has memoizable retailers.  Process cells are
+    # inspectable too: workers drain their cache's entries, demotions,
+    # and counters back through the shard results, and the coordinator
+    # folds them into its master cache -- so its stats speak for the
+    # fleet.  The one blind spot is a *stable*-planner process cell: the
+    # coordinator then never classifies domains itself and only
+    # evidence-based demotions flow back, so the structural live-only
+    # set would read incomplete.
     memoizable = set(scenario.crawl_domains) - set(scenario.live_only_domains)
     for result in results:
-        if not result.cell.burst_memo or result.cell.mode != "local":
+        if not result.cell.burst_memo:
+            continue
+        if result.cell.mode != "local" and result.cell.planner != "cost":
             continue
         observed = set(result.live_only)
         for domain in sorted(set(scenario.live_only_domains) - observed):

@@ -18,6 +18,7 @@ Spec fields (JSON object)::
     crawl           CrawlConfig kwargs           (crawl kind)
     plan            {"n_domains": K, "products_per_retailer": P}  (crawl)
     workers, mode   executor cell (1/"local" = inline)
+    planner         shard planner, "cost" (default) | "stable"
     memo            burst memo on/off (default true)
     checkpoint_dir  where day-segments spill
     resume          continue a committed prefix (default false)
@@ -159,9 +160,10 @@ def _exec_config(spec: dict):
 
     workers = int(spec.get("workers", 1))
     mode = spec.get("mode", "local")
+    planner = spec.get("planner", "cost")
     if workers == 1 and mode == "local":
         return None
-    return ExecConfig(workers=workers, mode=mode)
+    return ExecConfig(workers=workers, mode=mode, planner=planner)
 
 
 def _backend(world, spec: dict):

@@ -410,10 +410,9 @@ class TestCampaignScalePlumbing:
             "spec": spec,
             "tasks": [],
             "domains": [],
-            "jar_snapshots": [
-                vp.jar.snapshot(hosts=set()) for vp in world.vantage_points
-            ],
-            "server_states": {},
+            "session": {},
+            "memo_demotions": {},
+            "memo_entries": [],
             "burst_memo": {
                 "enabled": True,
                 "validate_fraction": 0.25,

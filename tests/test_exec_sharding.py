@@ -26,7 +26,16 @@ slow = pytest.mark.slow
 from repro.crawler import CrawlConfig, build_plan, run_crawl
 from repro.crowd import CampaignConfig, run_campaign
 from repro.ecommerce.world import WorldConfig, WorldSpec, build_world
-from repro.exec import ExecConfig, ExecError, LocalExecutor, ProcessExecutor, ShardPlan
+from repro.exec import (
+    CostAwarePlanner,
+    ExecConfig,
+    ExecError,
+    LocalExecutor,
+    ProcessExecutor,
+    ShardPlan,
+    make_planner,
+)
+from repro.exec.plan import LIVE_CHECK_COST, MEMO_HIT_COST
 from repro.io import report_to_dict
 
 
@@ -40,12 +49,14 @@ def _anchor(world, domain):
     return derive_anchor_for_domain(world, domain)
 
 
-def _crawl_blob(exec_config, *, loss_rate=0.0) -> tuple[str, tuple]:
+def _crawl_blob(exec_config, *, loss_rate=0.0, memo=True) -> tuple[str, tuple]:
     """Serialize a small same-seed crawl plus a store signature."""
     world = build_world(
         WorldConfig(catalog_scale=0.15, long_tail_domains=0, loss_rate=loss_rate)
     )
-    backend = SheriffBackend(world.network, world.vantage_points, world.rates)
+    backend = SheriffBackend(
+        world.network, world.vantage_points, world.rates, burst_memo=memo
+    )
     plan = build_plan(
         world, domains=world.crawled_domains[:5], products_per_retailer=4
     )
@@ -154,6 +165,105 @@ class TestShardPlan:
 
 
 # ----------------------------------------------------------------------
+# CostAwarePlanner
+# ----------------------------------------------------------------------
+class TestCostAwarePlanner:
+    def _scheduled(self, world, domains, repeats=1):
+        anchor = _anchor(world, "www.digitalrev.com")
+        scheduled = []
+        index = 0
+        for _ in range(repeats):
+            for domain in domains:
+                product = world.retailer(domain).catalog.products[0]
+                scheduled.append(ScheduledCheck(
+                    index=index,
+                    check_id=f"chk{index:07d}",
+                    start_ts=float(index),
+                    request=CheckRequest(
+                        url=f"http://{domain}{product.path}", anchor=anchor
+                    ),
+                ))
+                index += 1
+        return scheduled
+
+    def test_partition_covers_all_and_preserves_order(self):
+        world = _tiny_world()
+        backend = SheriffBackend(
+            world.network, world.vantage_points, world.rates
+        )
+        scheduled = self._scheduled(world, world.crawled_domains[:6], repeats=3)
+        shards = CostAwarePlanner(4).partition_batch(backend, scheduled)
+        assert len(shards) == 4
+        flat = [sched.index for shard in shards for sched in shard]
+        assert sorted(flat) == list(range(len(scheduled)))
+        for shard in shards:  # submission order survives inside a shard
+            assert [s.index for s in shard] == sorted(s.index for s in shard)
+        # Every domain's checks live on exactly one shard.
+        owners: dict[str, set] = {}
+        for i, shard in enumerate(shards):
+            for sched in shard:
+                owners.setdefault(sched.request.url.split("/")[2], set()).add(i)
+        assert all(len(shards_of) == 1 for shards_of in owners.values())
+
+    def test_memo_repeats_priced_as_hits(self):
+        """Repeats of one (url, day) burst on a memoizable retailer cost
+        MEMO_HIT_COST; a live-only retailer (login support) pays full
+        price every time."""
+        world = _tiny_world()
+        backend = SheriffBackend(
+            world.network, world.vantage_points, world.rates
+        )
+        memoizable, live_only = "www.digitalrev.com", "www.amazon.com"
+        assert world.servers[memoizable].signature_profile() is not None
+        assert world.servers[live_only].signature_profile() is None
+        scheduled = self._scheduled(world, [memoizable, live_only], repeats=3)
+        costs = CostAwarePlanner(2).predicted_costs(backend, scheduled)
+        assert costs[memoizable] == LIVE_CHECK_COST + 2 * MEMO_HIT_COST
+        assert costs[live_only] == 3 * LIVE_CHECK_COST
+
+    def test_memo_disabled_prices_everything_live(self):
+        world = _tiny_world()
+        backend = SheriffBackend(
+            world.network, world.vantage_points, world.rates, burst_memo=False
+        )
+        scheduled = self._scheduled(world, ["www.digitalrev.com"], repeats=3)
+        costs = CostAwarePlanner(2).predicted_costs(backend, scheduled)
+        assert costs["www.digitalrev.com"] == 3 * LIVE_CHECK_COST
+
+    def test_assign_equalizes_loads_deterministically(self):
+        planner = CostAwarePlanner(2)
+        costs = {"a.example": 40.0, "b.example": 20.0, "c.example": 20.0}
+        assignment = planner.assign(costs)
+        # LPT: the big retailer gets its own shard, the two small ones
+        # share the other.
+        assert assignment["b.example"] == assignment["c.example"]
+        assert assignment["a.example"] != assignment["b.example"]
+        # Deterministic under dict-order permutations.
+        permuted = planner.assign({
+            "c.example": 20.0, "a.example": 40.0, "b.example": 20.0
+        })
+        assert permuted == assignment
+
+    def test_cost_ties_break_by_domain_name(self):
+        assignment = CostAwarePlanner(2).assign(
+            {"b.example": 10.0, "a.example": 10.0}
+        )
+        # Equal costs: 'a' is considered first and lands on shard 0.
+        assert assignment["a.example"] == 0
+        assert assignment["b.example"] == 1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            CostAwarePlanner(0)
+
+    def test_make_planner(self):
+        assert isinstance(make_planner("cost", 2), CostAwarePlanner)
+        assert isinstance(make_planner("stable", 2), ShardPlan)
+        with pytest.raises(ValueError):
+            make_planner("random", 2)
+
+
+# ----------------------------------------------------------------------
 # ExecConfig
 # ----------------------------------------------------------------------
 class TestExecConfig:
@@ -176,9 +286,40 @@ class TestExecConfig:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ExecConfig(workers=0)
+            ExecConfig(workers=-1)
         with pytest.raises(ValueError):
             ExecConfig(mode="threads")
+        with pytest.raises(ValueError):
+            ExecConfig(planner="random")
+
+    def test_workers_zero_resolves_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        resolved = ExecConfig(workers=0).resolve(_tiny_world())
+        assert resolved.workers == 3
+        assert resolved.mode == "local"
+
+    def test_auto_mode_picks_local_for_memo_friendly_world(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        # The tiny test world is dominated by signature-pure retailers:
+        # most checks replay from the memo, so auto stays local.
+        resolved = ExecConfig(workers=0, mode="auto").resolve(_tiny_world())
+        assert resolved.workers == 4
+        assert resolved.mode == "local"
+
+    def test_auto_mode_crosses_to_process_for_live_heavy_world(
+        self, monkeypatch
+    ):
+        from repro.exec.plan import _live_work_share
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        world = _tiny_world()
+        monkeypatch.setattr(
+            "repro.exec.plan._live_work_share", lambda w: 0.9
+        )
+        resolved = ExecConfig(workers=0, mode="auto").resolve(world)
+        assert resolved.mode == "process"
+        # sanity: the real share function returns a fraction
+        assert 0.0 <= _live_work_share(world) <= 1.0
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +349,22 @@ class TestCrawlByteIdentity:
         blob, _ = _crawl_blob(ExecConfig(workers=3), loss_rate=0.10)
         assert blob == base_blob
 
+    def test_planner_memo_executor_grid_identical(self):
+        """The PR-8 acceptance grid: executor x workers x memo x planner
+        all serialize to the sequential baseline's bytes."""
+        base_blob, base_store = _crawl_blob(None)
+        for planner in ("cost", "stable"):
+            for mode in ("local", "process"):
+                for workers in (1, 2, 4):
+                    for memo in (True, False):
+                        config = ExecConfig(
+                            workers=workers, mode=mode, planner=planner
+                        )
+                        blob, store = _crawl_blob(config, memo=memo)
+                        label = f"{mode}x{workers}/{planner}/memo={memo}"
+                        assert blob == base_blob, f"{label} diverged"
+                        assert store == base_store, f"{label} store diverged"
+
 
 # ----------------------------------------------------------------------
 # Byte identity: campaign
@@ -222,6 +379,14 @@ class TestCampaignByteIdentity:
     def test_process_workers_identical(self):
         base = _campaign_blob(None)
         assert _campaign_blob(ExecConfig(workers=2, mode="process")) == base
+
+    def test_planners_identical(self):
+        base = _campaign_blob(None)
+        for planner in ("cost", "stable"):
+            config = ExecConfig(workers=2, mode="process", planner=planner)
+            assert _campaign_blob(config) == base, planner
+            config = ExecConfig(workers=3, planner=planner)
+            assert _campaign_blob(config) == base, planner
 
 
 # ----------------------------------------------------------------------
