@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-full coverage scenarios docs-check bench \
-	bench-analysis bench-campaign bench-resume bench-multicore check \
-	examples
+	bench-analysis bench-campaign bench-resume bench-multicore \
+	bench-chaos chaos check examples
 
 # Tier-1: the full test suite.
 test:
@@ -29,6 +29,13 @@ COV_FAIL_UNDER ?= 80
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
 		--cov-report=xml --cov-fail-under=$(COV_FAIL_UNDER)
+
+# Worker-chaos smoke: the fast tier of tests/test_worker_chaos.py --
+# SIGKILL/hang/quarantine one worker of a real process campaign and
+# demand byte identity (docs/TESTING.md "Worker chaos").  CI runs this
+# on push; the slow chaos grids run in the PR tier under `coverage`.
+chaos:
+	$(PYTHON) -m pytest tests/test_worker_chaos.py -x -q -m "not slow"
 
 # The adversarial scenario matrix: every scenario across the full
 # executor x burst-memo grid (same code the slow test tier runs).
@@ -78,6 +85,12 @@ bench-multicore:
 	$(PYTHON) benchmarks/run_bench.py --only multicore_scaling \
 		$(if $(MULTICORE_FAST),--multicore-fast --heavy-rounds 2 \
 		--out bench_multicore_ci.json)
+
+# Just the worker-failure supervision bench: recovery latency under a
+# mid-day worker SIGKILL, no-fault supervision overhead, byte identity
+# demanded under both.
+bench-chaos:
+	$(PYTHON) benchmarks/run_bench.py --only worker_failure
 
 # Run every example (docs/EXAMPLES.md shows expected output).
 examples:

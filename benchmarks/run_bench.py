@@ -822,6 +822,128 @@ def bench_campaign_resume(
         }
 
 
+def bench_worker_failure(rounds: int) -> dict[str, object]:
+    """Supervision bench: recovery latency and no-fault overhead.
+
+    Three stacks crawl the same day sequence over the multicore bench's
+    mixed fleet: a sequential reference, a supervised 4-worker process
+    executor with no faults (the supervision layer's steady-state cost
+    -- compare ``no_fault`` against ``multicore_scaling``'s
+    ``workers4_process``), and the same executor with one worker
+    SIGKILLed mid-day every round (victim rotating through the fleet).
+    Per round the chaos run must produce the reference bytes; headline
+    numbers are the mean recovery latency (retire + respawn + full
+    re-ship + re-run, from ``supervision_stats``) and the wall-clock
+    cost of eating one kill per day.
+    """
+    import json
+
+    from repro.core.backend import SheriffBackend
+    from repro.crawler import CrawlConfig, build_plan, run_crawl
+    from repro.ecommerce.world import WorldConfig, build_world
+    from repro.exec.process import ProcessExecutor, install_fault_hook
+    from repro.io import report_to_dict
+
+    world_config = WorldConfig(catalog_scale=0.2, long_tail_domains=0)
+    probe = build_world(world_config)
+    pure = [d for d in probe.crawled_domains
+            if probe.servers[d].signature_profile() is not None]
+    live = [d for d in probe.crawled_domains
+            if probe.servers[d].signature_profile() is None]
+    domains = sorted(pure[:4] + live[:2])
+    products_per_retailer = 4
+    workers = 4
+
+    def stack():
+        world = build_world(world_config)
+        backend = SheriffBackend(
+            world.network, world.vantage_points, world.rates
+        )
+        plan = build_plan(world, domains=domains,
+                          products_per_retailer=products_per_retailer)
+        return world, backend, plan
+
+    def blob(dataset) -> str:
+        return json.dumps(
+            [report_to_dict(r) for r in dataset.reports], sort_keys=True
+        )
+
+    ref = stack()
+    plain = stack()
+    chaos = stack()
+    plain_exec = ProcessExecutor(plain[0], workers)
+    chaos_exec = ProcessExecutor(chaos[0], workers, restart_backoff_s=0.0)
+
+    # One-shot fault: SIGKILL the pending victim mid-batch, once.
+    pending: list[int] = []
+
+    def hook(worker: int, batch: int):
+        if pending and pending[0] == worker:
+            pending.pop()
+            return "mid-batch"
+        return None
+
+    def crawl(s, day, executor=None):
+        world, backend, plan = s
+        return run_crawl(world, backend, plan,
+                         CrawlConfig(days=1, start_day=day),
+                         executor=executor)
+
+    day = iter(range(300, 10_000))
+    plain_ms: list[float] = []
+    chaos_ms: list[float] = []
+    recovery_ms: list[float] = []
+    previous = install_fault_hook(hook)
+    assert previous is None, "a fault hook was already installed"
+    try:
+        warm = next(day)  # warm worker pools / worlds, untimed
+        reference = blob(crawl(ref, warm))
+        if (blob(crawl(plain, warm, plain_exec)) != reference
+                or blob(crawl(chaos, warm, chaos_exec)) != reference):
+            raise RuntimeError("warm-up day diverged from sequential bytes")
+        for round_index in range(rounds):
+            d = next(day)
+            reference = blob(crawl(ref, d))
+
+            start = time.perf_counter()
+            no_fault = blob(crawl(plain, d, plain_exec))
+            plain_ms.append((time.perf_counter() - start) * 1000.0)
+            if no_fault != reference:
+                raise RuntimeError("no-fault run diverged from reference")
+
+            pending.append(round_index % workers)
+            before = chaos_exec.supervision_stats()
+            start = time.perf_counter()
+            faulted = blob(crawl(chaos, d, chaos_exec))
+            chaos_ms.append((time.perf_counter() - start) * 1000.0)
+            after = chaos_exec.supervision_stats()
+            if faulted != reference:
+                raise RuntimeError(
+                    f"worker kill changed bytes at day {d}"
+                )
+            if after["restarts"] != before["restarts"] + 1:
+                raise RuntimeError("injected kill did not trigger a restart")
+            recovery_ms.append(after["recovery_ms"] - before["recovery_ms"])
+    finally:
+        install_fault_hook(None)
+        plain_exec.close()
+        chaos_exec.close()
+
+    checks_per_day = len(domains) * products_per_retailer
+    return {
+        "checks_per_day": checks_per_day,
+        "workers": workers,
+        "kills_per_day": 1,
+        "no_fault": _summary(plain_ms),
+        "with_worker_kill": _summary(chaos_ms),
+        "recovery_latency_ms": _summary(recovery_ms),
+        "kill_overhead_ms": round(
+            statistics.fmean(chaos_ms) - statistics.fmean(plain_ms), 3
+        ),
+        "byte_identical_under_faults": True,
+    }
+
+
 #: name -> (runner, which rounds argument it takes).
 BENCHES: dict[str, tuple] = {
     "sheriff_check": (bench_sheriff_check, "rounds"),
@@ -833,6 +955,7 @@ BENCHES: dict[str, tuple] = {
     "analysis_aggregation": (bench_analysis_aggregation, "heavy"),
     "campaign_scaling": (bench_campaign_scaling, "heavy"),
     "campaign_resume": (bench_campaign_resume, "heavy"),
+    "worker_failure": (bench_worker_failure, "heavy"),
 }
 
 

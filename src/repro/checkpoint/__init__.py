@@ -16,6 +16,7 @@ from repro.checkpoint.barriers import (
     MID_DAY,
     SEGMENT_COMMITTED,
     SEGMENT_FLUSH,
+    WORKER_RESPAWN,
     barrier,
     install_barrier_hook,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "MID_DAY",
     "SEGMENT_COMMITTED",
     "SEGMENT_FLUSH",
+    "WORKER_RESPAWN",
     "CheckpointError",
     "CheckpointMismatchError",
     "Manifest",

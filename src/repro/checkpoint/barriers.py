@@ -22,7 +22,16 @@ name                        the world a kill leaves behind
                             manifest record is torn mid-line
 ``segment-committed``       the manifest record is fsync'd: the clean
                             day-boundary kill
+``worker-respawn``          the exec supervisor is mid-recovery: a shard
+                            worker died and its replacement is about to
+                            spawn; nothing of the failed attempt was
+                            folded, the day is uncommitted
 ==========================  =============================================
+
+``worker-respawn`` is fired by :class:`~repro.exec.process.
+ProcessExecutor`, not the commit protocol -- it exists so the chaos
+harness can prove a coordinator SIGKILL *during* worker recovery still
+resumes byte-identically (worker death composes with checkpoint/resume).
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ __all__ = [
     "MID_DAY",
     "SEGMENT_COMMITTED",
     "SEGMENT_FLUSH",
+    "WORKER_RESPAWN",
     "barrier",
     "install_barrier_hook",
 ]
@@ -43,10 +53,13 @@ MID_DAY = "mid-day"
 SEGMENT_FLUSH = "segment-flush"
 MANIFEST_MID_WRITE = "manifest-mid-write"
 SEGMENT_COMMITTED = "segment-committed"
+WORKER_RESPAWN = "worker-respawn"
 
-#: Every barrier the commit protocol fires, in protocol order.
+#: Every barrier the commit protocol fires, in protocol order, plus the
+#: exec supervisor's recovery window.
 BARRIER_NAMES = (
     MID_DAY, SEGMENT_FLUSH, MANIFEST_MID_WRITE, SEGMENT_COMMITTED,
+    WORKER_RESPAWN,
 )
 
 _hook: Optional[Callable[[str], None]] = None

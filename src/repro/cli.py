@@ -37,7 +37,7 @@ from repro.analysis import (
     location_ratio_stats,
     variation_extent,
 )
-from repro.exec import ExecConfig
+from repro.exec import ExecConfig, reset_fleet_health
 from repro.exec.plan import PLANNERS
 from repro.experiments.context import SCALES, ExperimentContext
 from repro.fx.rates import RateService
@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard planner: cost-aware bin packing or the "
                             "stable-hash fallback (bytes are identical "
                             "under either; default: cost)")
+        p.add_argument("--max-worker-restarts", type=int, default=3,
+                       metavar="N",
+                       help="under --exec-mode process: how many times a "
+                            "shard's dead or hung worker is respawned "
+                            "before the shard is quarantined to inline "
+                            "execution (bytes are identical either way; "
+                            "default 3)")
 
     def add_checkpoint(p: argparse.ArgumentParser) -> None:
         p.add_argument("--checkpoint-dir", metavar="DIR",
@@ -128,7 +135,32 @@ def _exec_config(args: argparse.Namespace) -> Optional[ExecConfig]:
     planner = getattr(args, "planner", "cost")
     if workers == 1 and mode == "local":
         return None
-    return ExecConfig(workers=workers, mode=mode, planner=planner)
+    return ExecConfig(
+        workers=workers, mode=mode, planner=planner,
+        max_worker_restarts=getattr(args, "max_worker_restarts", 3),
+    )
+
+
+def _print_fleet_health() -> None:
+    """One exec-summary line when supervision had to step in.
+
+    ``run_campaign``/``run_crawl`` close their executors internally, so
+    the numbers come from the process-wide accumulator every closing
+    :class:`~repro.exec.process.ProcessExecutor` folds into (zeroed at
+    command start).  Quiet runs print nothing.
+    """
+    from repro.exec.process import fleet_health
+
+    health = fleet_health()
+    if not (health["restarts"] or health["quarantined_shards"]):
+        return
+    print(
+        f"  exec: {health['restarts']} worker restart(s) "
+        f"({health['hang_kills']} hang kill(s)), "
+        f"{health['quarantined_shards']} quarantined shard(s) / "
+        f"{health['inline_checks']} check(s) inline, "
+        f"{health['recovery_ms']:.0f} ms in recovery"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +176,7 @@ def _checkpoint_args(args: argparse.Namespace) -> dict:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    reset_fleet_health()
     ctx = ExperimentContext(args.scale, seed=args.seed,
                             exec_config=_exec_config(args),
                             **_checkpoint_args(args))
@@ -154,6 +187,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{summary['users']} users / {summary['countries']} countries / "
         f"{summary['domains']} domains"
     )
+    _print_fleet_health()
     for domain, count in dataset.variation_counts().most_common(10):
         print(f"  flagged {domain:40s} {count}")
     if args.out:
@@ -169,11 +203,13 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 "--checkpoint-dir does not apply to scenario crawls"
             )
         return _cmd_crawl_scenario(args)
+    reset_fleet_health()
     ctx = ExperimentContext(args.scale, seed=args.seed,
                             exec_config=_exec_config(args),
                             **_checkpoint_args(args))
     dataset = ctx.crawl
     print(f"crawl complete: {dataset.summary()}")
+    _print_fleet_health()
     if args.out:
         lines = dataset_io.save_crawl_dataset(dataset, args.out, seed=args.seed)
         print(f"wrote {lines} reports to {args.out}")
@@ -196,6 +232,7 @@ def _cmd_crawl_scenario(args: argparse.Namespace) -> int:
             "(scenario worlds carry their own fixed size)",
             file=sys.stderr,
         )
+    reset_fleet_health()
     cell = GridCell(
         mode=args.exec_mode, workers=args.workers, planner=args.planner
     )
@@ -215,6 +252,7 @@ def _cmd_crawl_scenario(args: argparse.Namespace) -> int:
         f"  memo: {stats['hits']} hits / {stats['misses']} misses; "
         f"live-only: {sorted(result.live_only) or 'none'}"
     )
+    _print_fleet_health()
     problems = check_invariants(scenario, [result])
     for line in problems:
         print(f"  INVARIANT VIOLATED: {line}")

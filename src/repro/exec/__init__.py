@@ -19,7 +19,11 @@ to the sequential loop:
 * :class:`~repro.exec.process.ProcessExecutor` -- multiprocessing
   execution; workers regrow the world from its picklable
   :class:`~repro.ecommerce.world.WorldSpec` instead of pickling live
-  simulation objects.
+  simulation objects.  A supervision layer recovers dead or hung
+  workers (respawn + full re-ship + deterministic re-run) and
+  quarantines poison shards to inline execution after
+  ``--max-worker-restarts`` failures; :func:`~repro.exec.process.
+  fleet_health` accumulates the recovery telemetry across executors.
 
 See ``docs/ARCHITECTURE.md`` for the determinism contract that makes the
 byte-identity guarantee hold.
@@ -33,7 +37,12 @@ from repro.exec.plan import (
     ShardPlan,
     make_planner,
 )
-from repro.exec.process import ProcessExecutor
+from repro.exec.process import (
+    ProcessExecutor,
+    fleet_health,
+    install_fault_hook,
+    reset_fleet_health,
+)
 
 __all__ = [
     "CostAwarePlanner",
@@ -42,5 +51,8 @@ __all__ = [
     "LocalExecutor",
     "ProcessExecutor",
     "ShardPlan",
+    "fleet_health",
+    "install_fault_hook",
     "make_planner",
+    "reset_fleet_health",
 ]

@@ -55,6 +55,7 @@ __all__ = [
     "PLANNERS",
     "ShardPlan",
     "make_planner",
+    "predicted_batch_cost",
 ]
 
 _MODES = ("local", "process", "auto")
@@ -75,6 +76,46 @@ logger = logging.getLogger("repro.exec")
 
 class ExecError(RuntimeError):
     """Raised when a shard executor cannot honor its determinism contract."""
+
+
+def _check_costs(
+    backend: "SheriffBackend",
+    scheduled: Sequence["ScheduledCheck"],
+):
+    """Yield ``(domain, predicted cost)`` per scheduled check.
+
+    The one pricing rule shared by the cost planner and the supervisor's
+    hang deadlines: a retailer the burst memo will serve pays
+    :data:`LIVE_CHECK_COST` only for the first check of each
+    ``(url, day)`` burst and :data:`MEMO_HIT_COST` for repeats; everyone
+    else pays full price every time.
+    """
+    cache = backend.burst_cache
+    seen: set[tuple[str, str, int]] = set()
+    for sched in scheduled:
+        host = URL.parse(sched.request.url).host
+        if cache.predicts_hits(backend, host):
+            burst = (host, sched.request.url,
+                     int(sched.start_ts // SECONDS_PER_DAY))
+            if burst in seen:
+                yield host, MEMO_HIT_COST
+                continue
+            seen.add(burst)
+        yield host, LIVE_CHECK_COST
+
+
+def predicted_batch_cost(
+    backend: "SheriffBackend",
+    scheduled: Sequence["ScheduledCheck"],
+) -> float:
+    """Total predicted cost of a batch slice (any planner's shard).
+
+    :class:`~repro.exec.process.ProcessExecutor` scales its per-shard
+    hang deadline by this number, so a shard full of live fan-outs gets
+    proportionally more wall clock than one replaying memo hits before
+    the supervisor declares its worker hung.
+    """
+    return sum(cost for _, cost in _check_costs(backend, scheduled))
 
 
 class ShardPlan:
@@ -155,21 +196,8 @@ class CostAwarePlanner:
         scheduled: Sequence["ScheduledCheck"],
     ) -> dict[str, float]:
         """domain -> predicted cost of this batch's checks against it."""
-        cache = backend.burst_cache
         costs: dict[str, float] = {}
-        seen: set[tuple[str, str, int]] = set()
-        for sched in scheduled:
-            host = URL.parse(sched.request.url).host
-            if cache.predicts_hits(backend, host):
-                burst = (host, sched.request.url,
-                         int(sched.start_ts // SECONDS_PER_DAY))
-                if burst in seen:
-                    cost = MEMO_HIT_COST
-                else:
-                    seen.add(burst)
-                    cost = LIVE_CHECK_COST
-            else:
-                cost = LIVE_CHECK_COST
+        for host, cost in _check_costs(backend, scheduled):
             costs[host] = costs.get(host, 0.0) + cost
         return costs
 
@@ -239,6 +267,10 @@ class ExecConfig:
     workers: int = 1
     mode: str = "local"
     planner: str = "cost"
+    #: How many times the supervisor may respawn the worker of any one
+    #: shard before quarantining the shard to inline execution (process
+    #: mode only; see :meth:`ProcessExecutor.supervision_stats`).
+    max_worker_restarts: int = 3
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -247,6 +279,8 @@ class ExecConfig:
             raise ValueError(f"mode must be one of {_MODES}")
         if self.planner not in PLANNERS:
             raise ValueError(f"planner must be one of {PLANNERS}")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
 
     # ------------------------------------------------------------------
     def resolve(self, world: "World") -> "ExecConfig":
@@ -292,7 +326,10 @@ class ExecConfig:
             return LocalExecutor(config.workers, plan=plan)
         from repro.exec.process import ProcessExecutor
 
-        return ProcessExecutor(world, config.workers, plan=plan)
+        return ProcessExecutor(
+            world, config.workers, plan=plan,
+            max_restarts=config.max_worker_restarts,
+        )
 
 
 def _live_work_share(world: "World") -> float:

@@ -26,6 +26,12 @@ Spec fields (JSON object)::
     result          result JSON the driver writes (atomically, at exit)
     kill            {"point": <barrier name>, "count": N} | null --
                     die at the Nth firing of that barrier
+    worker_faults   [{"worker": i, "batch": d, "point": p}, ...] --
+                    inject the fault ``p`` (a ``FAULT_POINTS`` name, e.g.
+                    SIGKILL worker *i* mid-batch of day-batch *d*) into
+                    the run's :class:`ProcessExecutor`; the supervisor
+                    must recover and the run must stay byte-identical
+    max_worker_restarts   restart budget per shard (default 3)
 
 The result JSON records the saved dataset's SHA-256, row count, the
 backend's archive hash chain (chain equality == archive-stream byte
@@ -35,6 +41,14 @@ detection score against the scenario's ground truth.
 To add a kill point: call ``barrier("your-name")`` at the new
 crash window, add the name to ``repro.checkpoint.barriers.BARRIER_NAMES``,
 and kill specs can target it immediately -- the kit is name-agnostic.
+
+To add a worker-fault schedule: build a :class:`FaultPlan` (explicit
+``(worker, batch, point)`` triples, or :meth:`FaultPlan.seeded` for a
+deterministic random schedule) and either ``plan.install()`` it around
+an in-process run or pass its ``plan.specs()`` as the driver's
+``worker_faults`` field.  Coordinator kills (``kill``) and worker faults
+(``worker_faults``) compose: a spec can SIGKILL the coordinator at the
+``worker-respawn`` barrier while a worker fault is mid-recovery.
 """
 
 from __future__ import annotations
@@ -51,7 +65,81 @@ _SELF = Path(__file__).resolve()
 _SRC = _SELF.parent.parent / "src"
 
 #: Barrier names worth killing at, re-exported for test parametrization.
+#: ``worker-respawn`` is deliberately not here: it only fires while the
+#: exec supervisor recovers a dead worker, so it belongs to fault-
+#: carrying specs (tests/test_worker_chaos.py), not the plain kill grids.
 KILL_POINTS = ("mid-day", "segment-flush", "manifest-mid-write")
+
+
+# ----------------------------------------------------------------------
+# Worker-fault schedules
+# ----------------------------------------------------------------------
+class FaultPlan:
+    """A deterministic worker-fault schedule: kill worker *i* at batch *d*.
+
+    Faults are ``(worker, batch, point)`` triples (``point`` is a
+    :data:`repro.exec.process.FAULT_POINTS` name).  The plan is the
+    fault hook: the executor consults it at every dispatch -- including
+    the re-dispatch after a recovery, so a plan listing the same
+    ``(worker, batch)`` twice kills the replacement worker too (how the
+    quarantine tests exhaust a restart budget).  Each triple fires once.
+    """
+
+    def __init__(self, faults) -> None:
+        self._faults: list[tuple[int, int, str]] = [
+            (int(w), int(b), str(p)) for w, b, p in faults
+        ]
+
+    @classmethod
+    def from_specs(cls, specs) -> "FaultPlan":
+        """From the driver-spec form: dicts with worker/batch/point."""
+        return cls(
+            (s["worker"], s["batch"], s["point"]) for s in specs
+        )
+
+    @classmethod
+    def seeded(cls, seed: int, *, workers: int, batches: int,
+               n_faults: int,
+               points=("before-batch", "mid-batch", "after-batch"),
+               ) -> "FaultPlan":
+        """A seeded random schedule -- deterministic chaos.
+
+        Draws ``n_faults`` (worker, batch, point) triples from the full
+        grid with an isolated :class:`random.Random`; the same seed
+        always produces the same schedule, so a failing chaos run is
+        replayable from its seed alone.
+        """
+        import random
+
+        rng = random.Random(seed)
+        return cls(
+            (rng.randrange(workers), rng.randrange(batches),
+             rng.choice(points))
+            for _ in range(n_faults)
+        )
+
+    def specs(self) -> list[dict]:
+        """The driver-spec form (JSON-ready ``worker_faults`` value)."""
+        return [
+            {"worker": w, "batch": b, "point": p}
+            for w, b, p in self._faults
+        ]
+
+    def __call__(self, worker: int, batch: int):
+        for i, (w, b, point) in enumerate(self._faults):
+            if w == worker and b == batch:
+                del self._faults[i]
+                return point
+        return None
+
+    def install(self):
+        """Install as the process-wide fault hook; returns the previous."""
+        from repro.exec.process import install_fault_hook
+
+        return install_fault_hook(self)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self._faults!r})"
 
 
 # ----------------------------------------------------------------------
@@ -163,7 +251,10 @@ def _exec_config(spec: dict):
     planner = spec.get("planner", "cost")
     if workers == 1 and mode == "local":
         return None
-    return ExecConfig(workers=workers, mode=mode, planner=planner)
+    return ExecConfig(
+        workers=workers, mode=mode, planner=planner,
+        max_worker_restarts=int(spec.get("max_worker_restarts", 3)),
+    )
 
 
 def _backend(world, spec: dict):
@@ -296,6 +387,8 @@ def _main(spec_path: str) -> int:
     kill = spec.get("kill")
     if kill:
         _install_kill(kill["point"], int(kill["count"]))
+    if spec.get("worker_faults"):
+        FaultPlan.from_specs(spec["worker_faults"]).install()
     result = _DRIVERS[spec["kind"]](spec)
     result["out_sha256"] = file_sha256(spec["out"])
     result["peak_rss_mb"] = round(

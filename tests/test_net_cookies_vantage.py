@@ -139,3 +139,83 @@ class TestVantagePoints:
 
     def test_specs_cover_14(self):
         assert len(VANTAGE_SPECS) == 14
+
+
+class TestRetryBackoff:
+    """`fetch_with_retries` backoff: virtual-clock sleeps, deterministic."""
+
+    def _point(self):
+        return standard_vantage_points(IPAddressPlan())[0]
+
+    def _network(self, *, loss_rate=0.0, seed=3):
+        from repro.net.clock import VirtualClock
+        from repro.net.transport import FunctionServer, Network
+
+        net = Network(VirtualClock(), seed=seed, loss_rate=loss_rate)
+        net.register(
+            "shop.example",
+            FunctionServer(lambda r: HttpResponse.html("ok")),
+        )
+        return net
+
+    def test_backoff_off_is_byte_identical_to_historical(self):
+        """The default (backoff 0) is the pre-backoff behavior exactly:
+        same clock trajectory, same response, same retry draws."""
+        def run(**kwargs):
+            net = self._network(loss_rate=0.45, seed=9)
+            point = self._point()
+            try:
+                body = point.fetch_with_retries(
+                    net, "http://shop.example/", attempts=4, **kwargs
+                ).body
+            except Exception as exc:  # noqa: BLE001 - compared below
+                body = f"failed: {exc}"
+            return body, net.clock.now, net.request_count
+
+        assert run() == run(backoff_base_s=0.0)
+
+    def test_backoff_advances_only_the_virtual_clock(self):
+        """Backoff burns simulated seconds between failed attempts --
+        never wall clock, and never before the first attempt."""
+        import time as _time
+
+        net = self._network(loss_rate=0.97, seed=3)
+        point = self._point()
+        from repro.net.transport import TransportError
+
+        t0 = _time.perf_counter()
+        before = net.clock.now
+        with pytest.raises(TransportError):
+            point.fetch_with_retries(
+                net, "http://shop.example/", attempts=4,
+                backoff_base_s=10.0, backoff_cap_s=15.0,
+            )
+        assert _time.perf_counter() - t0 < 5.0, "slept wall clock!"
+        # 3 retries backed off 10, 15 (capped), 15 (capped) virtual
+        # seconds on top of whatever the lost sends themselves burned.
+        burned = net.clock.now - before
+        assert burned >= 40.0
+
+    def test_backoff_runs_are_deterministic(self):
+        """Same seed + same knobs -> the same draws, clock, and outcome;
+        the retry schedule is request-keyed, not wall-clock-keyed."""
+        def run():
+            net = self._network(loss_rate=0.45, seed=11)
+            point = self._point()
+            try:
+                body = point.fetch_with_retries(
+                    net, "http://shop.example/", attempts=5,
+                    backoff_base_s=2.0,
+                ).body
+            except Exception as exc:  # noqa: BLE001 - compared below
+                body = f"failed: {exc}"
+            return body, net.clock.now, net.request_count
+
+        assert run() == run()
+
+    def test_invalid_backoff_rejected(self):
+        net = self._network()
+        with pytest.raises(ValueError):
+            self._point().fetch_with_retries(
+                net, "http://shop.example/", backoff_base_s=-1.0
+            )
