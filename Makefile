@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-full coverage scenarios docs-check bench \
 	bench-analysis bench-campaign bench-resume bench-multicore \
-	bench-chaos chaos check examples
+	bench-chaos bench-serve chaos check examples serve-smoke
 
 # Tier-1: the full test suite.
 test:
@@ -91,6 +91,20 @@ bench-multicore:
 # demanded under both.
 bench-chaos:
 	$(PYTHON) benchmarks/run_bench.py --only worker_failure
+
+# Just the serving-latency traffic replay: live HTTP service, mixed
+# read/write stream, p50/p99 check latency + sustained checks/s.  Tune
+# with e.g. `make bench-serve SERVE_REQUESTS=5000`.
+SERVE_REQUESTS ?= 2000
+bench-serve:
+	$(PYTHON) benchmarks/run_bench.py --only serving_latency \
+		--serve-requests $(SERVE_REQUESTS)
+
+# Serving smoke: boot the real service, run a scripted request session
+# (check, campaign job to completion, results download, health), then
+# SIGTERM it and assert a clean exit (benchmarks/serve_smoke.py).
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py
 
 # Run every example (docs/EXAMPLES.md shows expected output).
 examples:

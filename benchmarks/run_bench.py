@@ -944,6 +944,107 @@ def bench_worker_failure(rounds: int) -> dict[str, object]:
     }
 
 
+def bench_serving_latency(
+    rounds: int, *, n_requests: int = 2000
+) -> dict[str, object]:
+    """Traffic replay against the live HTTP service: p50/p99 + checks/s.
+
+    Boots the real stack (``repro.serve`` on an ephemeral local port),
+    submits one background campaign job as the write load, then drives
+    ``rounds`` mixed read/write streams over a keep-alive connection:
+    ~80% ``POST /checks`` (popularity-weighted domain/product picks from
+    the serving world, zipf-ish head), ~10% ``GET /jobs/<id>`` progress
+    polls, ~10% ``GET /healthz``.  Check latency is measured per request
+    (the serving cache warms as the stream runs, exactly like
+    production); sustained checks/s is checks over the whole mixed
+    stream's wall clock, job traffic included.
+    """
+    import http.client
+    import random
+    import tempfile
+    import threading
+
+    from repro.serve import ServeConfig, build_app
+
+    service, server = build_app(ServeConfig(
+        port=0, scale="tiny",
+        data_dir=tempfile.mkdtemp(prefix="bench-serve-"),
+    ))
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+
+    def request(method: str, path: str, payload=None):
+        body = None if payload is None else json.dumps(payload)
+        start = time.perf_counter()
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        data = resp.read()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        assert resp.status in (200, 202), (resp.status, data[:200])
+        return elapsed_ms, json.loads(data)
+
+    try:
+        world = service.world
+        domains = list(world.crawled_domains)
+        weights = [1.0 / (rank + 1) for rank in range(len(domains))]
+        catalog_sizes = {
+            domain: len(world.retailer(domain).catalog) for domain in domains
+        }
+        _, job = request("POST", "/campaigns", {
+            "scale": "tiny", "n_checks": 60, "end_day": 20,
+        })
+        job_path = f"/jobs/{job['id']}"
+        rng = random.Random(2013)
+        check_ms: list[float] = []
+        reads = {"job_status": 0, "healthz": 0}
+        wall_s = 0.0
+        for _ in range(rounds):
+            stream_start = time.perf_counter()
+            for _ in range(n_requests):
+                roll = rng.random()
+                if roll < 0.8:
+                    domain = rng.choices(domains, weights)[0]
+                    product = rng.randrange(min(4, catalog_sizes[domain]))
+                    elapsed_ms, _body = request(
+                        "POST", "/checks",
+                        {"domain": domain, "product": product},
+                    )
+                    check_ms.append(elapsed_ms)
+                elif roll < 0.9:
+                    request("GET", job_path)
+                    reads["job_status"] += 1
+                else:
+                    request("GET", "/healthz")
+                    reads["healthz"] += 1
+            wall_s += time.perf_counter() - stream_start
+        _, health = request("GET", "/healthz")
+        _, job_state = request("GET", job_path)
+    finally:
+        conn.close()
+        server.shutdown()
+        server_thread.join(timeout=10)
+        server.server_close()
+
+    quantiles = statistics.quantiles(check_ms, n=100)
+    return {
+        "requests": rounds * n_requests,
+        "checks": len(check_ms),
+        "mean_ms": round(statistics.fmean(check_ms), 4),
+        "p50_ms": round(statistics.median(check_ms), 4),
+        "p99_ms": round(quantiles[98], 4),
+        "max_ms": round(max(check_ms), 4),
+        "checks_per_s": round(len(check_ms) / wall_s, 1),
+        "mixed_reads": reads,
+        "serving_cache_hit_rate": health["serving_cache"]["hit_rate"],
+        "background_job": {
+            "status": job_state["status"],
+            "checks_done": job_state["checks"]["done"],
+        },
+    }
+
+
 #: name -> (runner, which rounds argument it takes).
 BENCHES: dict[str, tuple] = {
     "sheriff_check": (bench_sheriff_check, "rounds"),
@@ -956,6 +1057,7 @@ BENCHES: dict[str, tuple] = {
     "campaign_scaling": (bench_campaign_scaling, "heavy"),
     "campaign_resume": (bench_campaign_resume, "heavy"),
     "worker_failure": (bench_worker_failure, "heavy"),
+    "serving_latency": (bench_serving_latency, "heavy"),
 }
 
 
@@ -967,6 +1069,8 @@ def _bench_kwargs(name: str, args) -> dict:
         return {"n_checks": args.resume_checks}
     if name == "multicore_scaling":
         return {"fast": args.multicore_fast}
+    if name == "serving_latency":
+        return {"n_requests": args.serve_requests}
     return {}
 
 
@@ -1015,6 +1119,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resume-checks", type=int, default=200_000,
                         help="headline check count for campaign_resume "
                              "(default 200000)")
+    parser.add_argument("--serve-requests", type=int, default=2000,
+                        help="mixed requests per stream round for "
+                             "serving_latency (default 2000)")
     parser.add_argument("--multicore-fast", action="store_true",
                         help="reduced 3-cell grid for multicore_scaling "
                              "(the CI configuration)")

@@ -1,0 +1,97 @@
+"""Serving smoke: boot, scripted session, clean SIGTERM shutdown.
+
+Spawns the real CLI (``python -m repro.cli serve --port 0``), reads the
+bound port off its stdout, drives one of everything -- health probe,
+on-demand check, campaign job submitted and polled to completion,
+results download -- then SIGTERMs the process and demands exit code 0.
+``make serve-smoke`` runs this in the push tier of CI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+_LISTENING = re.compile(r"listening on http://[0-9.]+:(\d+)")
+
+
+def _await_port(proc: subprocess.Popen, timeout: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError("service exited before listening")
+        sys.stdout.write(line)
+        match = _LISTENING.search(line)
+        if match:
+            return int(match.group(1))
+    raise AssertionError("service never printed its port")
+
+
+def main() -> int:
+    data_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--data-dir", data_dir],
+        env={"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        base = f"http://127.0.0.1:{_await_port(proc)}"
+
+        def get(path: str) -> dict:
+            with urllib.request.urlopen(base + path, timeout=60) as resp:
+                return json.loads(resp.read())
+
+        def post(path: str, payload: dict) -> dict:
+            req = urllib.request.Request(
+                base + path, data=json.dumps(payload).encode("utf-8")
+            )
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return json.loads(resp.read())
+
+        health = get("/healthz")
+        assert health["status"] == "ok", health
+        report = post("/checks", {"domain": "www.digitalrev.com", "product": 1})
+        assert report["check_id"] == "chk0000001", report
+        job = post("/campaigns", {"scale": "tiny", "n_checks": 30,
+                                  "end_day": 10})
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            state = get(f"/jobs/{job['id']}")
+            if state["status"] in ("done", "failed"):
+                break
+            time.sleep(0.2)
+        assert state["status"] == "done", state
+        with urllib.request.urlopen(
+            f"{base}/jobs/{job['id']}/results", timeout=60
+        ) as resp:
+            results = resp.read()
+        assert results.startswith(b'{"format":'), results[:40]
+        print(f"session ok: check + job {job['id']} "
+              f"({state['checks']['done']} checks, "
+              f"{len(results)} result bytes)")
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=30)
+    tail = proc.stdout.read()
+    sys.stdout.write(tail)
+    assert code == 0, f"service exited {code}, not 0"
+    assert "sheriff service stopped" in tail, "shutdown message missing"
+    print("clean shutdown: exit 0")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,10 @@ Subcommands mirror the paper's workflow:
 * ``check``    -- one ad-hoc $heriff check against a simulated shop,
 * ``report``   -- run every figure experiment and print the
   paper-vs-measured report (same output as
-  ``python -m repro.experiments.runner``).
+  ``python -m repro.experiments.runner``),
+* ``serve``    -- run the long-lived $heriff HTTP service (on-demand
+  checks, campaign jobs, progress/results/health endpoints; see
+  ``repro.serve``).
 
 Examples::
 
@@ -21,6 +24,7 @@ Examples::
     python -m repro.cli analyze crawl.jsonl
     python -m repro.cli check www.digitalrev.com --product 2
     python -m repro.cli report --scale quick
+    python -m repro.cli serve --port 8350 --data-dir sheriff-data
 """
 
 from __future__ import annotations
@@ -42,7 +46,20 @@ from repro.exec.plan import PLANNERS
 from repro.experiments.context import SCALES, ExperimentContext
 from repro.fx.rates import RateService
 
-__all__ = ["main", "build_parser"]
+__all__ = ["CliError", "main", "build_parser"]
+
+
+class CliError(Exception):
+    """A user-facing CLI failure: one line on stderr, exit code 2.
+
+    Raised by subcommands for bad invocations and unreadable inputs;
+    :func:`main` catches it, so callers (and tests) always see a clean
+    one-line message and an ``int`` return instead of a traceback.
+    """
+
+    def __init__(self, message: str, *, code: int = 2) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +142,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="run all figure experiments")
     add_scale(p_report)
     add_exec(p_report)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived $heriff HTTP service"
+    )
+    add_scale(p_serve)
+    add_exec(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8350,
+                         help="TCP port to listen on; 0 picks a free "
+                              "port and prints it (default: 8350)")
+    p_serve.add_argument("--data-dir", metavar="DIR",
+                         help="persist campaign jobs (spec, checkpoint, "
+                              "results) under DIR so a restarted service "
+                              "resumes them; default: a fresh temporary "
+                              "directory (jobs die with the process)")
     return parser
 
 
@@ -171,7 +204,7 @@ def _checkpoint_args(args: argparse.Namespace) -> dict:
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     resume = getattr(args, "resume", False)
     if resume and checkpoint_dir is None:
-        raise SystemExit("--resume requires --checkpoint-dir")
+        raise CliError("--resume requires --checkpoint-dir")
     return {"checkpoint_dir": checkpoint_dir, "resume": resume}
 
 
@@ -199,7 +232,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.scenario:
         if getattr(args, "checkpoint_dir", None):
-            raise SystemExit(
+            raise CliError(
                 "--checkpoint-dir does not apply to scenario crawls"
             )
         return _cmd_crawl_scenario(args)
@@ -268,7 +301,15 @@ def _cmd_crawl_scenario(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     # Both dataset kinds come out of this CLI's own --out; sniff the
     # header instead of making the user remember which file was which.
-    kind, dataset = dataset_io.load_dataset(args.dataset)
+    try:
+        kind, dataset = dataset_io.load_dataset(args.dataset)
+    except OSError as exc:
+        reason = exc.strerror or exc.__class__.__name__
+        raise CliError(f"cannot read dataset {args.dataset!r}: {reason}")
+    except dataset_io.DatasetFormatError as exc:
+        raise CliError(f"not a repro dataset {args.dataset!r}: {exc}")
+    except UnicodeDecodeError:
+        raise CliError(f"not a repro dataset {args.dataset!r}: binary junk")
     if kind == "crowd":
         return _analyze_crowd(dataset, seed=args.seed)
     return _analyze_crawl(dataset, seed=args.seed)
@@ -353,11 +394,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
+    reset_fleet_health()
     ctx = ExperimentContext(args.scale, seed=args.seed,
                             exec_config=_exec_config(args))
     results = runner.run_all(ctx)
     print(runner.render_report(results, scale=args.scale))
+    _print_fleet_health()
     return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve
+
+    return serve(
+        host=args.host, port=args.port, scale=args.scale, seed=args.seed,
+        data_dir=args.data_dir, exec_config=_exec_config(args),
+    )
 
 
 _COMMANDS = {
@@ -366,13 +418,18 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "check": _cmd_check,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CliError as exc:
+        print(exc, file=sys.stderr)
+        return exc.code
 
 
 if __name__ == "__main__":

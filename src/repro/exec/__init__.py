@@ -38,6 +38,7 @@ from repro.exec.plan import (
     make_planner,
 )
 from repro.exec.process import (
+    FleetHealthScope,
     ProcessExecutor,
     fleet_health,
     install_fault_hook,
@@ -48,6 +49,7 @@ __all__ = [
     "CostAwarePlanner",
     "ExecConfig",
     "ExecError",
+    "FleetHealthScope",
     "LocalExecutor",
     "ProcessExecutor",
     "ShardPlan",

@@ -66,6 +66,7 @@ import os
 import pickle
 import signal
 import sys
+import threading
 import time
 import traceback
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
@@ -84,6 +85,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FAULT_POINTS",
+    "FleetHealthScope",
     "ProcessExecutor",
     "fleet_health",
     "install_fault_hook",
@@ -416,18 +418,77 @@ _FLEET_HEALTH = {
     "recovery_ms": 0.0,
 }
 
+#: Executors may now be closed from concurrent job threads (the serving
+#: layer runs one campaign per thread), so folds into the process-wide
+#: accumulator are lock-guarded.
+_FLEET_HEALTH_LOCK = threading.Lock()
+
+#: Per-thread stack of active :class:`FleetHealthScope` instances; an
+#: executor closed on a thread folds into every scope open on it.
+_FLEET_SCOPES = threading.local()
+
+
+def _active_scopes() -> list:
+    stack = getattr(_FLEET_SCOPES, "stack", None)
+    if stack is None:
+        stack = _FLEET_SCOPES.stack = []
+    return stack
+
 
 def fleet_health() -> dict:
     """Cumulative supervision counters of every executor closed so far."""
-    return dict(_FLEET_HEALTH)
+    with _FLEET_HEALTH_LOCK:
+        return dict(_FLEET_HEALTH)
 
 
 def reset_fleet_health() -> None:
     """Zero the accumulator (the CLI does, once per command)."""
-    _FLEET_HEALTH.update(
-        restarts=0, hang_kills=0, quarantined_shards=0,
-        inline_checks=0, recovery_ms=0.0,
+    with _FLEET_HEALTH_LOCK:
+        _FLEET_HEALTH.update(
+            restarts=0, hang_kills=0, quarantined_shards=0,
+            inline_checks=0, recovery_ms=0.0,
+        )
+
+
+class FleetHealthScope:
+    """Thread-local supervision counters for one job in a shared process.
+
+    The process-wide :func:`fleet_health` accumulator fits a
+    one-command CLI process (``reset`` at command start, read at the
+    end) but not a long-lived service running many jobs concurrently:
+    a reset would zero other jobs' counters and a read would mix them.
+    A scope is a context manager; while entered, every
+    :class:`ProcessExecutor` closed *on the entering thread* also folds
+    its counters into the scope, so a job thread that wraps its campaign
+    in a scope observes exactly its own fleet health.  Scopes nest, and
+    the global accumulator still receives every fold.
+    """
+
+    _KEYS = (
+        "restarts", "hang_kills", "quarantined_shards",
+        "inline_checks", "recovery_ms",
     )
+
+    def __init__(self) -> None:
+        self.counters = {key: 0.0 if key == "recovery_ms" else 0
+                         for key in self._KEYS}
+
+    def _fold(self, delta: dict) -> None:
+        for key in self._KEYS:
+            self.counters[key] += delta[key]
+
+    def snapshot(self) -> dict:
+        """The counters folded so far (a copy, safe to hand out)."""
+        return dict(self.counters)
+
+    def __enter__(self) -> "FleetHealthScope":
+        _active_scopes().append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        stack = _active_scopes()
+        if self in stack:  # pragma: no branch - mismatched exits only
+            stack.remove(self)
 
 
 class ProcessExecutor:
@@ -916,11 +977,18 @@ class ProcessExecutor:
                 self._restarts, self._hang_kills, len(self._quarantined),
                 self._inline_checks, self._recovery_ms,
             )
-        _FLEET_HEALTH["restarts"] += self._restarts
-        _FLEET_HEALTH["hang_kills"] += self._hang_kills
-        _FLEET_HEALTH["quarantined_shards"] += len(self._quarantined)
-        _FLEET_HEALTH["inline_checks"] += self._inline_checks
-        _FLEET_HEALTH["recovery_ms"] += self._recovery_ms
+        folded = {
+            "restarts": self._restarts,
+            "hang_kills": self._hang_kills,
+            "quarantined_shards": len(self._quarantined),
+            "inline_checks": self._inline_checks,
+            "recovery_ms": self._recovery_ms,
+        }
+        with _FLEET_HEALTH_LOCK:
+            for key, value in folded.items():
+                _FLEET_HEALTH[key] += value
+        for scope in _active_scopes():
+            scope._fold(folded)
 
     def __enter__(self) -> "ProcessExecutor":
         """Context-manager entry: the executor itself."""

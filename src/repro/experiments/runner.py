@@ -78,11 +78,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     scale = argv[0] if argv else None
     ctx = get_context(scale)
-    started = time.time()
+    started = time.perf_counter()
     results = run_all(ctx)
     report = render_report(results, scale=ctx.scale.name)
     print(report)
-    print(f"(wall time: {time.time() - started:.1f}s)")
+    print(f"(wall time: {time.perf_counter() - started:.1f}s)")
     return 0 if all(r.all_checks_pass for r in results) else 1
 
 

@@ -1,0 +1,91 @@
+"""Composition root: configuration in, a wired service + server out.
+
+:func:`build_app` is the one place the hexagon's pieces meet -- it
+builds the :class:`~repro.serve.service.SheriffService`, resumes any
+incomplete jobs from the data dir, and binds the HTTP adapter.  Tests
+and the crash-injection driver call it directly (port 0, no signals);
+:func:`serve` is the CLI entry point around it, adding signal-driven
+graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import signal
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.serve.app import SheriffHTTPServer
+from repro.serve.service import SheriffService
+
+__all__ = ["ServeConfig", "build_app", "serve"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the service needs, in one picklable bag."""
+
+    host: str = "127.0.0.1"
+    port: int = 8350
+    scale: str = "tiny"
+    seed: int = 2013
+    #: Jobs persist (spec, checkpoint, results) under here; ``None``
+    #: means a fresh temporary directory -- jobs die with the process.
+    data_dir: Optional[str] = None
+    exec_config: Optional[object] = None
+
+
+def build_app(config: ServeConfig) -> tuple[SheriffService, SheriffHTTPServer]:
+    """Wire service + HTTP server (bound, jobs resumed, not yet serving)."""
+    data_dir = config.data_dir or tempfile.mkdtemp(prefix="sheriff-serve-")
+    service = SheriffService(
+        scale=config.scale, seed=config.seed,
+        data_dir=Path(data_dir), exec_config=config.exec_config,
+    )
+    server = SheriffHTTPServer((config.host, config.port), service)
+    resumed = service.start()
+    if resumed:
+        print(f"resumed {len(resumed)} job(s): {', '.join(resumed)}")
+    return service, server
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    scale: str = "tiny",
+    seed: int = 2013,
+    data_dir: Optional[str] = None,
+    exec_config=None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT; returns the exit code.
+
+    ``serve_forever`` runs on a helper thread so the main thread can
+    wait on the signal event and then call ``shutdown()`` -- calling it
+    from inside the serving thread would deadlock.
+    """
+    config = ServeConfig(host=host, port=port, scale=scale, seed=seed,
+                         data_dir=data_dir, exec_config=exec_config)
+    service, server = build_app(config)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    runner = threading.Thread(
+        target=server.serve_forever, name="sheriff-http", daemon=True
+    )
+    runner.start()
+    print(
+        f"sheriff service listening on http://{host}:{server.port} "
+        f"(scale={scale}, seed={seed}, data={service.registry.root.parent})",
+        flush=True,
+    )
+    stop.wait()
+    print("shutting down...", flush=True)
+    server.shutdown()
+    runner.join(timeout=10)
+    server.server_close()
+    service.close()
+    print("sheriff service stopped", flush=True)
+    return 0

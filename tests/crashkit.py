@@ -10,7 +10,7 @@ chain, detection scores) against an uninterrupted reference run.
 
 Spec fields (JSON object)::
 
-    kind            "campaign" | "crawl" | "scenario"
+    kind            "campaign" | "crawl" | "scenario" | "serve"
     world           WorldConfig kwargs           (campaign / crawl kinds)
     scenario        scenario name                (scenario kind)
     seed            run seed                     (default 2013)
@@ -375,10 +375,58 @@ def _drive_scenario(spec: dict) -> dict:
     }
 
 
+def _drive_serve(spec: dict) -> dict:
+    """Drive the real HTTP service end to end over a local socket.
+
+    First run (empty ``data_dir``): submit ``spec["job"]`` via
+    ``POST /campaigns``.  A re-run over the same ``data_dir`` submits
+    nothing -- ``build_app`` already resumed the incomplete job from its
+    checkpoint, exactly what a restarted service does.  Either way the
+    driver polls ``GET /jobs/job-000001`` until the job is terminal,
+    downloads ``/results`` to ``spec["out"]``, and reports the final
+    status.  A kill spec fires inside the job thread (the barrier hook
+    is process-global), taking the whole service down mid-campaign.
+
+    Extra spec fields: ``data_dir`` (the service's durable root; replaces
+    ``checkpoint_dir``) and ``job`` (the ``POST /campaigns`` payload).
+    """
+    import threading
+    import time as _time
+    import urllib.request
+
+    from repro.serve import ServeConfig, build_app
+
+    service, server = build_app(ServeConfig(
+        host="127.0.0.1", port=0,
+        scale=spec.get("scale", "tiny"), seed=int(spec.get("seed", 2013)),
+        data_dir=spec["data_dir"], exec_config=_exec_config(spec),
+    ))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{server.port}"
+    if not service.registry.jobs():
+        body = json.dumps(spec.get("job", {})).encode("utf-8")
+        with urllib.request.urlopen(
+            urllib.request.Request(f"{base}/campaigns", data=body)
+        ) as resp:
+            assert resp.status == 202, resp.status
+    while True:
+        with urllib.request.urlopen(f"{base}/jobs/job-000001") as resp:
+            status = json.loads(resp.read())
+        if status["status"] in ("done", "failed"):
+            break
+        _time.sleep(0.05)
+    assert status["status"] == "done", status
+    with urllib.request.urlopen(f"{base}/jobs/job-000001/results") as resp:
+        Path(spec["out"]).write_bytes(resp.read())
+    server.shutdown()
+    return {"rows": status["rows"], "checks": status["checks"]}
+
+
 _DRIVERS = {
     "campaign": _drive_campaign,
     "crawl": _drive_crawl,
     "scenario": _drive_scenario,
+    "serve": _drive_serve,
 }
 
 

@@ -562,16 +562,16 @@ class TestCrawlResume:
 # CLI + context threading
 # ----------------------------------------------------------------------
 class TestCheckpointFlags:
-    def test_resume_requires_checkpoint_dir(self):
-        with pytest.raises(SystemExit):
-            cli.main(["campaign", "--scale", "tiny", "--resume"])
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert cli.main(["campaign", "--scale", "tiny", "--resume"]) == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
 
-    def test_scenario_crawls_refuse_checkpointing(self, tmp_path: Path):
-        with pytest.raises(SystemExit):
-            cli.main([
-                "crawl", "--scale", "tiny", "--scenario", "flash-sale",
-                "--checkpoint-dir", str(tmp_path / "c"),
-            ])
+    def test_scenario_crawls_refuse_checkpointing(self, tmp_path: Path, capsys):
+        assert cli.main([
+            "crawl", "--scale", "tiny", "--scenario", "flash-sale",
+            "--checkpoint-dir", str(tmp_path / "c"),
+        ]) == 2
+        assert "does not apply to scenario" in capsys.readouterr().err
 
     def test_campaign_checkpoint_and_resume_round_trip(
         self, tmp_path: Path, capsys

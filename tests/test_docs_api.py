@@ -51,7 +51,7 @@ def test_tables_were_found():
     """Guard the guard: if the doc's table format changes, fail loudly
     rather than silently checking nothing."""
     assert len(SYMBOL_ROWS) >= 30, f"only {len(SYMBOL_ROWS)} symbol rows parsed"
-    assert len(CLI_ROWS) == 5, f"{len(CLI_ROWS)} CLI rows parsed"
+    assert len(CLI_ROWS) == 6, f"{len(CLI_ROWS)} CLI rows parsed"
 
 
 @pytest.mark.parametrize("symbol,module_name",

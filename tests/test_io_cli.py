@@ -161,3 +161,49 @@ class TestCli:
         assert code == 0
         assert "extent of variation" in out
         assert "Finland profile" in out
+
+
+class TestCliErrorPaths:
+    """Bad invocations exit 2 with one line on stderr -- no tracebacks."""
+
+    def test_analyze_missing_file(self, capsys):
+        code = cli.main(["analyze", "/missing/nowhere.jsonl"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read dataset" in err
+        assert "Traceback" not in err
+
+    def test_analyze_unreadable_directory(self, tmp_path: Path, capsys):
+        code = cli.main(["analyze", str(tmp_path)])
+        assert code == 2
+        assert "cannot read dataset" in capsys.readouterr().err
+
+    def test_analyze_garbage_text_file(self, tmp_path: Path, capsys):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("this is not a dataset\n", encoding="utf-8")
+        code = cli.main(["analyze", str(junk)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "not a repro dataset" in err
+
+    def test_analyze_binary_garbage_file(self, tmp_path: Path, capsys):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"\x00\xff\xfe\x80PK\x03\x04" * 16)
+        code = cli.main(["analyze", str(junk)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "not a repro dataset" in err
+
+    def test_analyze_torn_header_file(self, tmp_path: Path, capsys):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"format": "repro-repo', encoding="utf-8")
+        code = cli.main(["analyze", str(torn)])
+        assert code == 2
+        assert "not a repro dataset" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_dir(self, capsys):
+        for command in ("campaign", "crawl"):
+            code = cli.main([command, "--scale", "tiny", "--resume"])
+            err = capsys.readouterr().err
+            assert code == 2, command
+            assert "--resume requires --checkpoint-dir" in err

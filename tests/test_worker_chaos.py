@@ -168,6 +168,43 @@ class TestWorkerKillSmoke:
         assert health["recovery_ms"] > 0
 
 
+class TestFleetHealthScope:
+    """Per-job scoping of the supervision counters (the serving layer
+    runs many jobs in one process; a scope sees only its own thread's
+    executor folds, while the global accumulator still sees all)."""
+
+    def test_nested_scopes_capture_this_threads_folds(self):
+        from repro.exec import FleetHealthScope
+
+        with FleetHealthScope() as outer:
+            with FleetHealthScope() as inner:
+                _, _, health = _run_campaign([(1, 0, "mid-batch")])
+        assert inner.snapshot()["restarts"] == 1
+        assert outer.snapshot()["restarts"] == 1
+        assert inner.snapshot()["recovery_ms"] > 0
+        # The global accumulator got the same fold (the scope observes,
+        # it does not divert).
+        assert health["restarts"] == 1
+
+    def test_scope_ignores_other_threads(self):
+        import threading
+
+        from repro.exec import FleetHealthScope
+
+        done = threading.Event()
+        with FleetHealthScope() as scope:
+            thread = threading.Thread(
+                target=lambda: (_run_campaign([(0, 0, "mid-batch")]),
+                                done.set()),
+                daemon=True,
+            )
+            thread.start()
+            thread.join(timeout=300)
+        assert done.is_set(), "chaos campaign thread did not finish"
+        assert scope.snapshot()["restarts"] == 0
+        assert fleet_health()["restarts"] == 1
+
+
 class TestQuarantine:
     def test_poison_shard_completes_inline_with_logged_warning(self, caplog):
         """A shard that keeps killing its workers exhausts the restart
